@@ -1,0 +1,40 @@
+//! Internal stress tool: runs one scheme/structure combo at a chosen scale.
+//!
+//! Usage: `bisect <scheme> <structure> [threads] [secs] [key_range]`
+//!
+//! Used to bisect crashes that only reproduce in optimized builds: run each
+//! combination in a separate process so a fault identifies the pair.
+
+use bench_harness::driver::BenchParams;
+use bench_harness::registry::run_combo;
+use bench_harness::workload::OpMix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scheme = args.get(1).map(String::as_str).unwrap_or("Hyaline");
+    let structure = args.get(2).map(String::as_str).unwrap_or("list");
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let secs: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let key_range: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let params = BenchParams {
+        threads,
+        secs,
+        trials: 1,
+        prefill: (key_range / 2) as usize,
+        key_range,
+        mix: OpMix::WriteIntensive,
+        config: smr_core::SmrConfig {
+            slots: 8,
+            max_threads: 512,
+            ..smr_core::SmrConfig::default()
+        },
+        ..BenchParams::default()
+    };
+    match run_combo(scheme, structure, &params) {
+        Some(r) => println!(
+            "{scheme}/{structure}: {:.3} Mops/s, {} ops, retired {}, freed {}, unreclaimed avg {:.1}",
+            r.mops, r.ops, r.retired, r.freed, r.avg_unreclaimed
+        ),
+        None => println!("{scheme}/{structure}: unsupported"),
+    }
+}

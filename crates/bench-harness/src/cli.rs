@@ -1,0 +1,182 @@
+//! Minimal argument/environment configuration for the bench binaries.
+//!
+//! Benchmarks read their scale from (in priority order) command-line flags
+//! after `--`, then `HYALINE_BENCH_*` environment variables, then scaled
+//! defaults. The paper's full-scale parameters (10 s runs, 5 trials, 50 000
+//! prefill over 100 000 keys, threads up to 144) are reachable via:
+//!
+//! ```text
+//! cargo bench -p bench --bench fig8_9_write -- \
+//!     --secs 10 --trials 5 --prefill 50000 --key-range 100000 \
+//!     --threads 1,9,18,...,144
+//! ```
+
+use smr_core::SmrConfig;
+
+use crate::driver::BenchParams;
+
+/// Scale configuration shared by the bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchScale {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Stalled-thread counts for the robustness figure.
+    pub stalled: Vec<usize>,
+    /// Base parameters (duration, prefill, range, trials, config).
+    pub base: BenchParams,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .collect()
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Sweep through and past the core count: the paper's oversubscribed
+        // regime (threads >> cores) is where Hyaline's asynchronous tracking
+        // shines, so keep several oversubscribed points.
+        let threads = vec![1, 2, cores.max(2), cores * 2, cores * 4, cores * 8]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        Self {
+            threads,
+            stalled: vec![0, 1, 2, 4, 8, 12],
+            base: BenchParams {
+                secs: 0.25,
+                trials: 1,
+                prefill: 1_024,
+                key_range: 2_048,
+                config: SmrConfig {
+                    slots: (cores * 2).next_power_of_two(),
+                    max_threads: 512,
+                    // The paper's 8192 assumes 10-second runs; scaled-down
+                    // runs need Ack saturation (stalled-slot avoidance) to
+                    // kick in correspondingly sooner.
+                    ack_threshold: 256,
+                    ..SmrConfig::default()
+                },
+                ..BenchParams::default()
+            },
+        }
+    }
+}
+
+impl BenchScale {
+    /// Builds the scale from defaults, environment, then CLI arguments.
+    pub fn from_env_and_args() -> Self {
+        let mut scale = Self::default();
+        if let Some(v) = env_f64("HYALINE_BENCH_SECS") {
+            scale.base.secs = v;
+        }
+        if let Some(v) = env_u64("HYALINE_BENCH_TRIALS") {
+            scale.base.trials = v as usize;
+        }
+        if let Some(v) = env_u64("HYALINE_BENCH_PREFILL") {
+            scale.base.prefill = v as usize;
+        }
+        if let Some(v) = env_u64("HYALINE_BENCH_KEY_RANGE") {
+            scale.base.key_range = v;
+        }
+        if let Some(v) = env_u64("HYALINE_BENCH_ACK_THRESHOLD") {
+            scale.base.config.ack_threshold = v as i64;
+        }
+        if let Ok(v) = std::env::var("HYALINE_BENCH_THREADS") {
+            let list = parse_list(&v);
+            if !list.is_empty() {
+                scale.threads = list;
+            }
+        }
+        if let Ok(v) = std::env::var("HYALINE_BENCH_STALLED") {
+            let list = parse_list(&v);
+            if !list.is_empty() {
+                scale.stalled = list;
+            }
+        }
+
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: &mut usize| -> Option<String> {
+                *i += 1;
+                args.get(*i).cloned()
+            };
+            match args[i].as_str() {
+                "--secs" => {
+                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
+                        scale.base.secs = v;
+                    }
+                }
+                "--trials" => {
+                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
+                        scale.base.trials = v;
+                    }
+                }
+                "--prefill" => {
+                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
+                        scale.base.prefill = v;
+                    }
+                }
+                "--key-range" => {
+                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
+                        scale.base.key_range = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = take(&mut i) {
+                        let list = parse_list(&v);
+                        if !list.is_empty() {
+                            scale.threads = list;
+                        }
+                    }
+                }
+                "--stalled" => {
+                    if let Some(v) = take(&mut i) {
+                        let list = parse_list(&v);
+                        if !list.is_empty() {
+                            scale.stalled = list;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_include_oversubscription() {
+        let scale = BenchScale::default();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(scale.threads.iter().any(|&t| t > cores));
+        assert!(scale.threads.contains(&1));
+    }
+
+    #[test]
+    fn parse_list_handles_spaces() {
+        assert_eq!(parse_list("1, 2,4"), vec![1, 2, 4]);
+        assert_eq!(parse_list("x"), Vec::<usize>::new());
+    }
+}

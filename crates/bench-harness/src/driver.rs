@@ -1,0 +1,317 @@
+//! The measured benchmark driver.
+//!
+//! Reproduces the paper's methodology (Section 6): prefill the structure,
+//! run every thread through a uniform random operation stream for a fixed
+//! duration, and report throughput plus the average number of retired but
+//! not yet reclaimed objects per operation (sampled periodically, as in the
+//! framework of [35]). Optional extras drive the robustness test (stalled
+//! threads parked inside an operation, Figure 10a) and §3.3 trimming
+//! (Figure 10b).
+
+use lockfree_ds::ConcurrentMap;
+use smr_core::{Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use crate::workload::{Op, OpMix, OpStream};
+
+/// Parameters of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Active worker threads.
+    pub threads: usize,
+    /// Extra threads that enter an operation and stall for the whole run.
+    pub stalled: usize,
+    /// Measured duration per trial, in seconds.
+    pub secs: f64,
+    /// Number of trials; results are averaged (the paper runs 5).
+    pub trials: usize,
+    /// Number of elements prefilled (the paper uses 50 000).
+    pub prefill: usize,
+    /// Keys are drawn from `0..key_range` (the paper uses 100 000).
+    pub key_range: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Reclamation configuration handed to the scheme.
+    pub config: SmrConfig,
+    /// Sample the unreclaimed-object count every this many operations.
+    pub sample_every: u64,
+    /// Drive operations with `trim` instead of `leave`+`enter`
+    /// (Hyaline only; Figure 10b). Falls back to leave+enter elsewhere.
+    pub use_trim: bool,
+    /// Operations between forced `leave`/`enter` when trimming (bounds the
+    /// retirement list length, as §3.3 requires).
+    pub trim_window: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            stalled: 0,
+            secs: 0.3,
+            trials: 1,
+            prefill: 1_000,
+            key_range: 2_000,
+            mix: OpMix::WriteIntensive,
+            config: SmrConfig::default(),
+            sample_every: 128,
+            use_trim: false,
+            trim_window: 64,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one benchmark run (averaged over trials).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunResult {
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Average retired-but-unreclaimed objects (per sample point).
+    pub avg_unreclaimed: f64,
+    /// Total operations executed.
+    pub ops: u64,
+    /// Nodes retired during the measured phase.
+    pub retired: u64,
+    /// Nodes freed during the measured phase.
+    pub freed: u64,
+}
+
+/// Runs the workload against a `(structure, scheme)` pair.
+pub fn run_bench<S, M>(params: &BenchParams) -> RunResult
+where
+    M: ConcurrentMap<S>,
+    S: Smr<M::Node>,
+{
+    let mut acc = RunResult::default();
+    for trial in 0..params.trials.max(1) {
+        let r = run_trial::<S, M>(params, trial as u64);
+        acc.mops += r.mops;
+        acc.avg_unreclaimed += r.avg_unreclaimed;
+        acc.ops += r.ops;
+        acc.retired += r.retired;
+        acc.freed += r.freed;
+    }
+    let n = params.trials.max(1) as f64;
+    acc.mops /= n;
+    acc.avg_unreclaimed /= n;
+    acc
+}
+
+fn run_trial<S, M>(params: &BenchParams, trial: u64) -> RunResult
+where
+    M: ConcurrentMap<S>,
+    S: Smr<M::Node>,
+{
+    let map = M::with_config(params.config.clone());
+
+    // Prefill with `prefill` evenly spaced keys from the range, so roughly
+    // half the range is present (as in the paper: 50k elements, 100k keys).
+    {
+        let mut h = map.handle();
+        let step = (params.key_range / params.prefill.max(1) as u64).max(1);
+        let mut inserted = 0;
+        let mut key = 0;
+        while inserted < params.prefill as u64 && key < params.key_range {
+            h.enter();
+            map.map_insert(&mut h, key, key);
+            h.leave();
+            inserted += 1;
+            key += step;
+        }
+        h.flush();
+    }
+
+    let stop = AtomicBool::new(false);
+    let start_barrier = Barrier::new(params.threads + params.stalled + 1);
+    let map_ref = &map;
+    let stop_ref = &stop;
+    let barrier_ref = &start_barrier;
+
+    struct ThreadOut {
+        ops: u64,
+        sample_sum: u64,
+        samples: u64,
+    }
+
+    let (total_ops, sample_sum, samples) = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(params.threads);
+        for t in 0..params.threads {
+            let params = params.clone();
+            workers.push(scope.spawn(move || {
+                let mut h = map_ref.handle();
+                let mut stream = OpStream::new(
+                    params.mix,
+                    params.key_range,
+                    params.seed ^ trial,
+                    t as u64,
+                );
+                let mut out = ThreadOut {
+                    ops: 0,
+                    sample_sum: 0,
+                    samples: 0,
+                };
+                barrier_ref.wait();
+                if params.use_trim {
+                    h.enter();
+                }
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let (op, key) = stream.next_op();
+                    if !params.use_trim {
+                        h.enter();
+                    }
+                    match op {
+                        Op::Get => {
+                            map_ref.map_get(&mut h, key);
+                        }
+                        Op::Insert => {
+                            map_ref.map_insert(&mut h, key, key);
+                        }
+                        Op::Remove => {
+                            map_ref.map_remove(&mut h, key);
+                        }
+                    }
+                    if params.use_trim {
+                        // §3.3: trim in lieu of leave+enter, with a bounded
+                        // window forcing a real leave periodically.
+                        if out.ops % params.trim_window == params.trim_window - 1 {
+                            h.leave();
+                            h.enter();
+                        } else {
+                            h.trim();
+                        }
+                    } else {
+                        h.leave();
+                    }
+                    out.ops += 1;
+                    if out.ops.is_multiple_of(params.sample_every) {
+                        out.sample_sum += map_ref.stats().unreclaimed();
+                        out.samples += 1;
+                    }
+                }
+                if params.use_trim {
+                    h.leave();
+                }
+                h.flush();
+                out
+            }));
+        }
+        // Stalled threads: enter, run a handful of operations, then park
+        // inside the operation until the run ends (Figure 10a's setup).
+        let mut stalled = Vec::with_capacity(params.stalled);
+        for t in 0..params.stalled {
+            let params = params.clone();
+            stalled.push(scope.spawn(move || {
+                let mut h = map_ref.handle();
+                let mut stream = OpStream::new(
+                    params.mix,
+                    params.key_range,
+                    params.seed ^ trial ^ 0xDEAD,
+                    (params.threads + t) as u64,
+                );
+                barrier_ref.wait();
+                h.enter();
+                for _ in 0..4 {
+                    let (_, key) = stream.next_op();
+                    map_ref.map_get(&mut h, key);
+                }
+                while !stop_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                h.leave();
+            }));
+        }
+
+        barrier_ref.wait();
+        let started = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(params.secs));
+        stop.store(true, Ordering::SeqCst);
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let mut total_ops = 0u64;
+        let mut sample_sum = 0u64;
+        let mut samples = 0u64;
+        for w in workers {
+            let out = w.join().expect("worker panicked");
+            total_ops += out.ops;
+            sample_sum += out.sample_sum;
+            samples += out.samples;
+        }
+        for s in stalled {
+            s.join().expect("stalled thread panicked");
+        }
+        let _ = elapsed;
+        (total_ops, sample_sum, samples)
+    });
+
+    let stats = map.stats();
+    RunResult {
+        mops: total_ops as f64 / params.secs / 1e6,
+        avg_unreclaimed: if samples == 0 {
+            0.0
+        } else {
+            sample_sum as f64 / samples as f64
+        },
+        ops: total_ops,
+        retired: stats.retired(),
+        freed: stats.freed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::Hyaline;
+    use lockfree_ds::MichaelHashMap;
+    use smr_baselines::Ebr;
+
+    fn quick_params() -> BenchParams {
+        BenchParams {
+            threads: 2,
+            secs: 0.05,
+            prefill: 100,
+            key_range: 200,
+            config: SmrConfig {
+                slots: 4,
+                max_threads: 64,
+                ..SmrConfig::default()
+            },
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn driver_produces_throughput() {
+        let r = run_bench::<Hyaline<_>, MichaelHashMap<u64, u64, _>>(&quick_params());
+        assert!(r.ops > 0, "no operations executed");
+        assert!(r.mops > 0.0);
+    }
+
+    #[test]
+    fn stalled_threads_inflate_unreclaimed_for_ebr() {
+        let mut p = quick_params();
+        p.mix = OpMix::WriteIntensive;
+        let clean = run_bench::<Ebr<_>, MichaelHashMap<u64, u64, _>>(&p);
+        p.stalled = 1;
+        let stalled = run_bench::<Ebr<_>, MichaelHashMap<u64, u64, _>>(&p);
+        assert!(
+            stalled.avg_unreclaimed > clean.avg_unreclaimed.max(1.0) * 4.0,
+            "EBR with a stalled thread should pin far more memory \
+             (clean {:.1} vs stalled {:.1})",
+            clean.avg_unreclaimed,
+            stalled.avg_unreclaimed
+        );
+    }
+
+    #[test]
+    fn trim_mode_runs() {
+        let mut p = quick_params();
+        p.use_trim = true;
+        let r = run_bench::<Hyaline<_>, MichaelHashMap<u64, u64, _>>(&p);
+        assert!(r.ops > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! High-level drivers that regenerate each figure of the paper.
+
+use smr_core::SmrConfig;
+
+use crate::driver::BenchParams;
+use crate::registry::{run_combo, supports, FIGURE_SCHEMES};
+use crate::report::FigureTable;
+use crate::workload::OpMix;
+
+/// Structure display names as used in the paper's captions.
+pub fn structure_caption(structure: &str) -> &'static str {
+    match structure {
+        "list" => "Harris & Michael list",
+        "hashmap" => "Michael hash map",
+        "bonsai" => "Bonsai tree",
+        "nmtree" => "Natarajan & Mittal tree",
+        _ => "unknown structure",
+    }
+}
+
+/// Runs a full thread sweep for one structure and mix, producing both the
+/// throughput figure (Fig 8/11/13/15 panels) and the unreclaimed-objects
+/// figure (Fig 9/12/14/16 panels) from the same runs.
+pub fn throughput_figures(
+    fig_throughput: &str,
+    fig_unreclaimed: &str,
+    structure: &str,
+    mix: OpMix,
+    threads: &[usize],
+    base: &BenchParams,
+) -> (FigureTable, FigureTable) {
+    let caption = structure_caption(structure);
+    let mut tput = FigureTable::new(
+        format!("{fig_throughput} — {caption}, {}", mix.label()),
+        "threads",
+        "Mops/s",
+        FIGURE_SCHEMES,
+    );
+    let mut unrec = FigureTable::new(
+        format!("{fig_unreclaimed} — {caption}, {}", mix.label()),
+        "threads",
+        "unreclaimed objects",
+        FIGURE_SCHEMES,
+    );
+    for &t in threads {
+        let mut tput_row = Vec::with_capacity(FIGURE_SCHEMES.len());
+        let mut unrec_row = Vec::with_capacity(FIGURE_SCHEMES.len());
+        for &scheme in FIGURE_SCHEMES {
+            if !supports(scheme, structure) {
+                tput_row.push(None);
+                unrec_row.push(None);
+                continue;
+            }
+            let params = BenchParams {
+                threads: t,
+                mix,
+                ..base.clone()
+            };
+            let r = run_combo(scheme, structure, &params).expect("supported combo");
+            tput_row.push(Some(r.mops));
+            unrec_row.push(Some(r.avg_unreclaimed));
+        }
+        tput.push_row(t, tput_row);
+        unrec.push_row(t, unrec_row);
+    }
+    (tput, unrec)
+}
+
+/// The robustness experiment (Figure 10a): a fixed number of active threads
+/// while the number of *stalled* threads (parked inside an operation)
+/// sweeps. Plots unreclaimed objects per scheme; Hyaline-S appears twice —
+/// capped at `capped_slots` slots (the paper's "ran out of slots at 57"
+/// series) and with §4.3 adaptive resizing.
+pub fn robustness_figure(
+    active: usize,
+    stalled_counts: &[usize],
+    capped_slots: usize,
+    base: &BenchParams,
+) -> FigureTable {
+    const SCHEMES: &[&str] = &[
+        "Hyaline",
+        "Hyaline-1",
+        "Hyaline-S",
+        "Hyaline-S-adaptive",
+        "Hyaline-1S",
+        "Epoch",
+        "IBR",
+        "HE",
+        "HP",
+    ];
+    let mut table = FigureTable::new(
+        format!(
+            "Fig 10a — robustness, Michael hash map, {} active threads, Hyaline-S capped at {} slots",
+            active, capped_slots
+        ),
+        "stalled",
+        "unreclaimed objects",
+        SCHEMES,
+    );
+    for &stalled in stalled_counts {
+        let mut row = Vec::with_capacity(SCHEMES.len());
+        for &scheme in SCHEMES {
+            let (name, config) = match scheme {
+                "Hyaline-S" => (
+                    "Hyaline-S",
+                    SmrConfig {
+                        slots: capped_slots,
+                        adaptive: false,
+                        ..base.config.clone()
+                    },
+                ),
+                "Hyaline-S-adaptive" => (
+                    "Hyaline-S",
+                    SmrConfig {
+                        slots: capped_slots,
+                        adaptive: true,
+                        ..base.config.clone()
+                    },
+                ),
+                other => (other, base.config.clone()),
+            };
+            let params = BenchParams {
+                threads: active,
+                stalled,
+                mix: OpMix::WriteIntensive,
+                config,
+                ..base.clone()
+            };
+            row.push(run_combo(name, "hashmap", &params).map(|r| r.avg_unreclaimed));
+        }
+        table.push_row(stalled, row);
+    }
+    table
+}
+
+/// The trimming experiment (Figure 10b): hash-map throughput with the slot
+/// count capped low, comparing Hyaline(-S) driven by `trim` against plain
+/// `leave`/`enter`.
+pub fn trim_figure(threads: &[usize], capped_slots: usize, base: &BenchParams) -> FigureTable {
+    const SERIES: &[&str] = &[
+        "Hyaline (trim)",
+        "Hyaline-S (trim)",
+        "Hyaline",
+        "Hyaline-S",
+    ];
+    let mut table = FigureTable::new(
+        format!("Fig 10b — trimming, Michael hash map, k <= {capped_slots}"),
+        "threads",
+        "Mops/s",
+        SERIES,
+    );
+    for &t in threads {
+        let mut row = Vec::with_capacity(SERIES.len());
+        for &series in SERIES {
+            let (scheme, use_trim) = match series {
+                "Hyaline (trim)" => ("Hyaline", true),
+                "Hyaline-S (trim)" => ("Hyaline-S", true),
+                "Hyaline" => ("Hyaline", false),
+                "Hyaline-S" => ("Hyaline-S", false),
+                _ => unreachable!(),
+            };
+            let params = BenchParams {
+                threads: t,
+                mix: OpMix::WriteIntensive,
+                use_trim,
+                config: SmrConfig {
+                    slots: capped_slots,
+                    ..base.config.clone()
+                },
+                ..base.clone()
+            };
+            row.push(run_combo(scheme, "hashmap", &params).map(|r| r.mops));
+        }
+        table.push_row(t, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchParams {
+        BenchParams {
+            secs: 0.02,
+            prefill: 64,
+            key_range: 128,
+            config: SmrConfig {
+                slots: 4,
+                max_threads: 64,
+                ..SmrConfig::default()
+            },
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn throughput_figures_fill_all_cells() {
+        let (tput, unrec) =
+            throughput_figures("Fig 8c", "Fig 9c", "hashmap", OpMix::WriteIntensive, &[1, 2], &quick());
+        assert_eq!(tput.rows.len(), 2);
+        assert_eq!(unrec.rows.len(), 2);
+        assert!(tput.value(1, "Hyaline").unwrap() > 0.0);
+        assert!(tput.value(2, "Epoch").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bonsai_figure_marks_hp_unsupported() {
+        let (tput, _) =
+            throughput_figures("Fig 8b", "Fig 9b", "bonsai", OpMix::WriteIntensive, &[1], &quick());
+        assert!(tput.value(1, "HP").is_none());
+        assert!(tput.value(1, "Hyaline").is_some());
+    }
+
+    #[test]
+    fn trim_figure_has_four_series() {
+        let table = trim_figure(&[2], 4, &quick());
+        assert_eq!(table.schemes.len(), 4);
+        assert!(table.value(2, "Hyaline (trim)").unwrap() > 0.0);
+    }
+}

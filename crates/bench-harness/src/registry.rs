@@ -1,0 +1,143 @@
+//! Runtime dispatch from `(scheme name, structure name)` strings to the
+//! monomorphized benchmark entry points.
+
+use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+use lockfree_ds::{BonsaiTree, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree};
+use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
+
+use crate::driver::{run_bench, BenchParams, RunResult};
+
+/// The scheme set of the paper's throughput figures, in legend order.
+pub const FIGURE_SCHEMES: &[&str] = &[
+    "Leaky",
+    "Epoch",
+    "Hyaline",
+    "Hyaline-1",
+    "Hyaline-S",
+    "Hyaline-1S",
+    "IBR",
+    "HE",
+    "HP",
+];
+
+/// All schemes available in the registry (figures plus the LFRC ablation).
+pub const ALL_SCHEMES: &[&str] = &[
+    "Leaky",
+    "Epoch",
+    "Hyaline",
+    "Hyaline-1",
+    "Hyaline-S",
+    "Hyaline-1S",
+    "IBR",
+    "HE",
+    "HP",
+    "LFRC",
+];
+
+/// The benchmark structures, matching the paper's four sub-figures.
+pub const STRUCTURES: &[&str] = &["list", "hashmap", "bonsai", "nmtree"];
+
+/// Whether the combination is supported.
+///
+/// Bonsai's snapshot traversals need interval/epoch/reference-count-free
+/// protection; HP and HE cannot cover an unbounded path with a bounded set
+/// of protection indices, so — exactly as in the paper ("HP and HE are not
+/// implemented for this benchmark") — those combinations are excluded.
+/// LFRC's counted protection also cannot pin a whole snapshot path, and the
+/// paper does not run it on any throughput figure.
+pub fn supports(scheme: &str, structure: &str) -> bool {
+    if structure == "bonsai" {
+        !matches!(scheme, "HP" | "HE" | "LFRC")
+    } else {
+        ALL_SCHEMES.contains(&scheme) && STRUCTURES.contains(&structure)
+    }
+}
+
+/// Runs one benchmark for a scheme/structure pair selected by name.
+///
+/// Returns `None` for unknown names or unsupported combinations (see
+/// [`supports`]).
+pub fn run_combo(scheme: &str, structure: &str, params: &BenchParams) -> Option<RunResult> {
+    if !supports(scheme, structure) {
+        return None;
+    }
+    macro_rules! on_structures {
+        ($scheme_ty:ty) => {
+            match structure {
+                "list" => Some(run_bench::<$scheme_ty, HarrisMichaelList<u64, u64, _>>(params)),
+                "hashmap" => Some(run_bench::<$scheme_ty, MichaelHashMap<u64, u64, _>>(params)),
+                "bonsai" => Some(run_bench::<$scheme_ty, BonsaiTree<u64, u64, _>>(params)),
+                "nmtree" => {
+                    Some(run_bench::<$scheme_ty, NatarajanMittalTree<u64, u64, _>>(params))
+                }
+                _ => None,
+            }
+        };
+    }
+    match scheme {
+        "Leaky" => on_structures!(Leaky<_>),
+        "Epoch" => on_structures!(Ebr<_>),
+        "Hyaline" => on_structures!(Hyaline<_>),
+        "Hyaline-1" => on_structures!(Hyaline1<_>),
+        "Hyaline-S" => on_structures!(HyalineS<_>),
+        "Hyaline-1S" => on_structures!(Hyaline1S<_>),
+        "IBR" => on_structures!(Ibr<_>),
+        "HE" => on_structures!(He<_>),
+        "HP" => on_structures!(Hp<_>),
+        "LFRC" => on_structures!(Lfrc<_>),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchParams {
+        BenchParams {
+            threads: 2,
+            secs: 0.02,
+            prefill: 64,
+            key_range: 128,
+            config: smr_core::SmrConfig {
+                slots: 4,
+                max_threads: 64,
+                ..smr_core::SmrConfig::default()
+            },
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn every_supported_combo_runs() {
+        let p = quick();
+        for &scheme in ALL_SCHEMES {
+            for &structure in STRUCTURES {
+                let result = run_combo(scheme, structure, &p);
+                assert_eq!(
+                    result.is_some(),
+                    supports(scheme, structure),
+                    "combo {scheme}/{structure}"
+                );
+                if let Some(r) = result {
+                    assert!(r.ops > 0, "{scheme}/{structure} did no work");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bonsai_excludes_pointer_schemes() {
+        assert!(!supports("HP", "bonsai"));
+        assert!(!supports("HE", "bonsai"));
+        assert!(!supports("LFRC", "bonsai"));
+        assert!(supports("IBR", "bonsai"));
+        assert!(supports("Hyaline-S", "bonsai"));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(run_combo("RCU", "list", &quick()).is_none());
+        assert!(run_combo("Epoch", "skiplist", &quick()).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload definitions matching the paper's evaluation (Section 6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One map operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Lookup.
+    Get,
+    /// Insert.
+    Insert,
+    /// Delete.
+    Remove,
+}
+
+/// An operation mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpMix {
+    /// The paper's write-intensive workload: 50% insert, 50% delete.
+    WriteIntensive,
+    /// The paper's read-mostly workload: 90% get, 10% put.
+    ReadMostly,
+}
+
+impl OpMix {
+    /// Short label used in figure headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpMix::WriteIntensive => "write-intensive (50% insert / 50% delete)",
+            OpMix::ReadMostly => "read-mostly (90% get / 10% put)",
+        }
+    }
+}
+
+/// A per-thread deterministic operation stream.
+///
+/// Keys are drawn uniformly from `0..key_range` with equal probability,
+/// exactly as in the paper ("the key used in each operation is randomly
+/// chosen from the range of 0 to 100,000 with equal probability").
+#[derive(Debug)]
+pub struct OpStream {
+    rng: SmallRng,
+    mix: OpMix,
+    key_range: u64,
+}
+
+impl OpStream {
+    /// A stream for thread `thread_id` (per-thread deterministic seed).
+    pub fn new(mix: OpMix, key_range: u64, seed: u64, thread_id: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ thread_id.wrapping_mul(0x9E3779B97F4A7C15)),
+            mix,
+            key_range,
+        }
+    }
+
+    /// The next `(operation, key)` pair.
+    #[inline]
+    pub fn next_op(&mut self) -> (Op, u64) {
+        let key = self.rng.gen_range(0..self.key_range);
+        let op = match self.mix {
+            OpMix::WriteIntensive => {
+                if self.rng.gen_bool(0.5) {
+                    Op::Insert
+                } else {
+                    Op::Remove
+                }
+            }
+            OpMix::ReadMostly => {
+                if self.rng.gen_bool(0.9) {
+                    Op::Get
+                } else if self.rng.gen_bool(0.5) {
+                    // The paper's "put" must churn memory for the Fig 12/16
+                    // unreclaimed metric to be meaningful: a put that only
+                    // inserts saturates the key range and then never retires
+                    // anything. Split puts evenly between insert and remove,
+                    // keeping the structure near half-full at steady state
+                    // (the same effect as the framework's insert-or-replace).
+                    Op::Insert
+                } else {
+                    Op::Remove
+                }
+            }
+        };
+        (op, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut s = OpStream::new(OpMix::WriteIntensive, 100, 42, 0);
+        for _ in 0..1_000 {
+            let (_, k) = s.next_op();
+            assert!(k < 100);
+        }
+    }
+
+    #[test]
+    fn write_mix_is_roughly_half_inserts() {
+        let mut s = OpStream::new(OpMix::WriteIntensive, 100, 7, 3);
+        let inserts = (0..10_000)
+            .filter(|_| matches!(s.next_op().0, Op::Insert))
+            .count();
+        assert!((4_000..6_000).contains(&inserts), "got {inserts}");
+    }
+
+    #[test]
+    fn read_mix_is_roughly_ninety_percent_gets() {
+        let mut s = OpStream::new(OpMix::ReadMostly, 100, 7, 3);
+        let gets = (0..10_000)
+            .filter(|_| matches!(s.next_op().0, Op::Get))
+            .count();
+        assert!((8_700..9_300).contains(&gets), "got {gets}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_thread() {
+        let mut a = OpStream::new(OpMix::ReadMostly, 1_000, 1, 5);
+        let mut b = OpStream::new(OpMix::ReadMostly, 1_000, 1, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = OpStream::new(OpMix::ReadMostly, 1_000, 1, 6);
+        let same = (0..100).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 100, "different threads must diverge");
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Batch size** (§3.2: "batch size impacts the cost of retirement in a
+//!    way that is similar to the frequency of epoch counter increments") —
+//!    hash-map write throughput as `batch_min` sweeps.
+//! 2. **Slot count** (§3.1 vs §3.2: the simplified single-list version is
+//!    "more prone to CAS contention") — throughput as `slots` sweeps from 1
+//!    (the simplified version) upward.
+//! 3. **Era frequency** for Hyaline-S (Figure 5's `Freq`) — throughput vs
+//!    unreclaimed-objects trade-off.
+//! 4. **Ack threshold** for Hyaline-S (§4.2: "after some threshold (e.g.,
+//!    8192), enter can assume that the corresponding slot is occupied by
+//!    stalled threads") — how fast active threads abandon stalled slots,
+//!    measured as unreclaimed objects under injected stalls.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::driver::BenchParams;
+use bench_harness::registry::run_combo;
+use bench_harness::report::FigureTable;
+use bench_harness::workload::OpMix;
+use smr_core::SmrConfig;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores * 2; // mildly oversubscribed, the interesting regime
+
+    // 1. Batch size.
+    {
+        let mut table = FigureTable::new(
+            format!("Ablation A1 — Hyaline batch size (hash map, write-intensive, {threads} threads)"),
+            "batch_min",
+            "Mops/s",
+            &["Hyaline", "Hyaline-S"],
+        );
+        for batch_min in [8usize, 16, 32, 64, 128, 256] {
+            let params = BenchParams {
+                threads,
+                mix: OpMix::WriteIntensive,
+                config: SmrConfig {
+                    batch_min,
+                    ..scale.base.config.clone()
+                },
+                ..scale.base.clone()
+            };
+            let row = ["Hyaline", "Hyaline-S"]
+                .iter()
+                .map(|s| run_combo(s, "hashmap", &params).map(|r| r.mops))
+                .collect();
+            table.push_row(batch_min, row);
+        }
+        println!("{table}");
+    }
+
+    // 2. Slot count (k = 1 is the paper's §3.1 simplified single-list form).
+    {
+        let mut table = FigureTable::new(
+            format!("Ablation A2 — Hyaline slot count (hash map, write-intensive, {threads} threads; k=1 is the simplified single-list version)"),
+            "slots",
+            "Mops/s",
+            &["Hyaline"],
+        );
+        for slots in [1usize, 2, 4, 8, 16, 32] {
+            let params = BenchParams {
+                threads,
+                mix: OpMix::WriteIntensive,
+                config: SmrConfig {
+                    slots,
+                    ..scale.base.config.clone()
+                },
+                ..scale.base.clone()
+            };
+            let row = vec![run_combo("Hyaline", "hashmap", &params).map(|r| r.mops)];
+            table.push_row(slots, row);
+        }
+        println!("{table}");
+    }
+
+    // 3. Hyaline-S era frequency.
+    {
+        let mut tput = FigureTable::new(
+            format!("Ablation A3 — Hyaline-S era frequency (hash map, write-intensive, {threads} threads)"),
+            "era_freq",
+            "Mops/s",
+            &["Hyaline-S"],
+        );
+        let mut unrec = FigureTable::new(
+            "Ablation A3 — unreclaimed objects vs era frequency".to_string(),
+            "era_freq",
+            "unreclaimed objects",
+            &["Hyaline-S"],
+        );
+        for era_freq in [16u64, 64, 256, 1024] {
+            let params = BenchParams {
+                threads,
+                mix: OpMix::WriteIntensive,
+                config: SmrConfig {
+                    era_freq,
+                    ..scale.base.config.clone()
+                },
+                ..scale.base.clone()
+            };
+            let r = run_combo("Hyaline-S", "hashmap", &params);
+            tput.push_row(era_freq as usize, vec![r.map(|r| r.mops)]);
+            unrec.push_row(era_freq as usize, vec![r.map(|r| r.avg_unreclaimed)]);
+        }
+        println!("{tput}");
+        println!("{unrec}");
+    }
+
+    // 4. Hyaline-S Ack threshold under stalled threads.
+    {
+        let stalled = 2;
+        let mut table = FigureTable::new(
+            format!(
+                "Ablation A4 — Hyaline-S ack threshold (hash map, write-intensive, \
+                 {threads} active + {stalled} stalled threads)"
+            ),
+            "ack_threshold",
+            "unreclaimed objects",
+            &["Hyaline-S", "Hyaline-1S"],
+        );
+        for ack_threshold in [32i64, 128, 512, 2048, 8192] {
+            let params = BenchParams {
+                threads,
+                stalled,
+                mix: OpMix::WriteIntensive,
+                config: SmrConfig {
+                    ack_threshold,
+                    ..scale.base.config.clone()
+                },
+                ..scale.base.clone()
+            };
+            let row = ["Hyaline-S", "Hyaline-1S"]
+                .iter()
+                .map(|s| run_combo(s, "hashmap", &params).map(|r| r.avg_unreclaimed))
+                .collect();
+            table.push_row(ack_threshold as usize, row);
+        }
+        println!("{table}");
+    }
+}

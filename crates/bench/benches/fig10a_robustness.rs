@@ -1,0 +1,29 @@
+//! Regenerates Figure 10a: unreclaimed objects with a fixed number of
+//! active threads while stalled threads (parked inside an operation) sweep.
+//!
+//! The paper's shape to check: Hyaline, Hyaline-1 and Epoch blow up with
+//! even one stalled thread; HP/HE/IBR/Hyaline-1S stay flat; Hyaline-S with
+//! a capped slot count stays flat until the stalled threads outnumber the
+//! slots ("ran out of slots at 57" in the paper) and then interferes, while
+//! Hyaline-S with §4.3 adaptive resizing stays flat throughout.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::figures::robustness_figure;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let active = cores.max(2);
+    // Cap Hyaline-S slots *below* the largest stalled count so the
+    // "ran out of slots" regime of the figure is visible.
+    let max_stalled = scale.stalled.iter().copied().max().unwrap_or(8);
+    let capped_slots = (max_stalled / 2).max(2).next_power_of_two();
+    println!(
+        "== Robustness: {} active threads, stalled sweep {:?}, Hyaline-S capped at {} slots ==\n",
+        active, scale.stalled, capped_slots
+    );
+    let table = robustness_figure(active, &scale.stalled, capped_slots, &scale.base);
+    println!("{table}");
+}

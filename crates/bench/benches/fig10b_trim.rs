@@ -1,0 +1,27 @@
+//! Regenerates Figure 10b: hash-map throughput with the Hyaline slot count
+//! capped low (the paper uses k <= 32 on a 72-core box, i.e. well below the
+//! core count), comparing §3.3 `trim`-driven operation windows against
+//! plain per-operation `enter`/`leave`.
+//!
+//! The paper's shape to check: with few threads trimming helps only
+//! marginally; as threads grow past the slot count, trimming alleviates
+//! the Head contention significantly.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::figures::trim_figure;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Cap slots below the sweep's maximum thread count (k << threads).
+    let capped_slots = cores.max(2).next_power_of_two() / 2;
+    let capped_slots = capped_slots.max(2);
+    println!(
+        "== Trimming: Michael hash map, slots capped at {capped_slots}, threads {:?} ==\n",
+        scale.threads
+    );
+    let table = trim_figure(&scale.threads, capped_slots, &scale.base);
+    println!("{table}");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figures 11a–11d (throughput) and 12a–12d (unreclaimed
+//! objects) for the read-mostly workload (90% get / 10% put) on x86-64
+//! (the paper's Appendix A).
+
+use bench_harness::cli::BenchScale;
+use bench_harness::figures::throughput_figures;
+use bench_harness::workload::OpMix;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    println!(
+        "== Read-mostly workload, {} trial(s) x {:.2}s, prefill {} of {} keys ==\n",
+        scale.base.trials, scale.base.secs, scale.base.prefill, scale.base.key_range
+    );
+    let panels = [
+        ("Fig 11a", "Fig 12a", "list"),
+        ("Fig 11b", "Fig 12b", "bonsai"),
+        ("Fig 11c", "Fig 12c", "hashmap"),
+        ("Fig 11d", "Fig 12d", "nmtree"),
+    ];
+    for (fig_t, fig_u, structure) in panels {
+        let (tput, unrec) = throughput_figures(
+            fig_t,
+            fig_u,
+            structure,
+            OpMix::ReadMostly,
+            &scale.threads,
+            &scale.base,
+        );
+        println!("{tput}");
+        println!("{unrec}");
+    }
+}

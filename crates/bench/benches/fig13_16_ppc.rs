@@ -1,0 +1,88 @@
+//! Stand-in for Figures 13–16 (the paper's PowerPC evaluation).
+//!
+//! The paper reruns the write-intensive and read-mostly sweeps on an 8-core
+//! (64 hardware thread) POWER machine using the single-width LL/SC
+//! implementation of Section 4.4 (Figure 7). No PPC hardware is available
+//! here, so per DESIGN.md's substitution table this target:
+//!
+//! 1. exercises the Figure 7 LL/SC *algorithm* through the software
+//!    reservation-granule model in `hyaline::llsc` (the paper-specific
+//!    logic: reservation loss on granule sharing, the delayed `HPtr := 0`
+//!    claim when `HRef` reaches zero), and
+//! 2. reruns a reduced thread sweep of both workloads on this machine —
+//!    "although absolute numbers are different, overall trends in Hyaline
+//!    remain the same" is exactly the paper's own observation for PPC.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::figures::throughput_figures;
+use bench_harness::workload::OpMix;
+use hyaline::llsc::{dw_cas_ptr, dw_cas_ref, LlscHead, Pair};
+
+fn exercise_llsc_model() {
+    println!("-- Section 4.4 LL/SC model (Figure 7 operations) --");
+    // dwFAA keeps HPtr intact while incrementing HRef.
+    let head = LlscHead::new();
+    for _ in 0..1_000 {
+        head.enter();
+    }
+    assert_eq!(head.pair(), Pair { href: 1_000, hptr: 0 });
+    println!("   dwFAA x1000: HRef=1000, HPtr intact");
+
+    // Concurrent hammering: enters, pushes and leaves with the granule
+    // model; the pair must end balanced.
+    let head = &LlscHead::new();
+    std::thread::scope(|s| {
+        for t in 1..=4u32 {
+            s.spawn(move || {
+                for i in 0..50_000u32 {
+                    head.enter();
+                    let mut cur = head.pair();
+                    loop {
+                        if cur.href == 0 {
+                            break;
+                        }
+                        match head.push(cur, t * 1_000_000 + i) {
+                            Ok(()) => break,
+                            Err(seen) => cur = seen,
+                        }
+                    }
+                    head.leave();
+                }
+            });
+        }
+    });
+    assert_eq!(head.pair(), Pair { href: 0, hptr: 0 });
+    println!("   4 threads x 50k enter/push/leave cycles: head returned to [0, null]");
+
+    // The weak-CAS flavors validate both words.
+    let g = hyaline::llsc::Granule::new();
+    assert!(dw_cas_ptr(&g, Pair { href: 0, hptr: 0 }, 5));
+    assert!(!dw_cas_ref(&g, Pair { href: 0, hptr: 0 }, 1), "stale pair must fail");
+    assert!(dw_cas_ref(&g, Pair { href: 0, hptr: 5 }, 1));
+    println!("   dwCAS_Ptr/dwCAS_Ref validate the full [HRef, HPtr] pair\n");
+}
+
+fn main() {
+    println!("== Figures 13-16: PowerPC evaluation (x86-64 stand-in, see DESIGN.md) ==\n");
+    exercise_llsc_model();
+
+    let mut scale = BenchScale::from_env_and_args();
+    // A reduced sweep: the full curves live in fig8_9_write / fig11_12_read.
+    if scale.threads.len() > 3 {
+        let n = scale.threads.len();
+        scale.threads = vec![
+            scale.threads[0],
+            scale.threads[n / 2],
+            scale.threads[n - 1],
+        ];
+    }
+    for (fig_t, fig_u, structure, mix) in [
+        ("Fig 13c", "Fig 14c", "hashmap", OpMix::WriteIntensive),
+        ("Fig 15c", "Fig 16c", "hashmap", OpMix::ReadMostly),
+    ] {
+        let (tput, unrec) =
+            throughput_figures(fig_t, fig_u, structure, mix, &scale.threads, &scale.base);
+        println!("{tput}");
+        println!("{unrec}");
+    }
+}

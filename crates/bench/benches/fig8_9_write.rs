@@ -1,0 +1,38 @@
+//! Regenerates Figures 8a–8d (throughput) and 9a–9d (unreclaimed objects
+//! per operation) for the write-intensive workload (50% insert / 50%
+//! delete) across the four benchmark structures.
+//!
+//! Absolute numbers depend on the host; the paper's qualitative shape to
+//! check is: all Hyaline variants at or above Epoch, with the gap growing
+//! once threads exceed cores (oversubscription), HP slowest, and the
+//! Hyaline variants keeping the smallest unreclaimed counts.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::figures::throughput_figures;
+use bench_harness::workload::OpMix;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    println!(
+        "== Write-intensive workload, {} trial(s) x {:.2}s, prefill {} of {} keys ==\n",
+        scale.base.trials, scale.base.secs, scale.base.prefill, scale.base.key_range
+    );
+    let panels = [
+        ("Fig 8a", "Fig 9a", "list"),
+        ("Fig 8b", "Fig 9b", "bonsai"),
+        ("Fig 8c", "Fig 9c", "hashmap"),
+        ("Fig 8d", "Fig 9d", "nmtree"),
+    ];
+    for (fig_t, fig_u, structure) in panels {
+        let (tput, unrec) = throughput_figures(
+            fig_t,
+            fig_u,
+            structure,
+            OpMix::WriteIntensive,
+            &scale.threads,
+            &scale.base,
+        );
+        println!("{tput}");
+        println!("{unrec}");
+    }
+}

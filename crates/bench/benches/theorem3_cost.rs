@@ -1,0 +1,110 @@
+//! Theorem 3: the reclamation cost in all Hyaline variants is ≈ O(1) per
+//! operation, irrespective of the total number of threads.
+//!
+//! This target isolates the pure reclamation path — no data structure, just
+//! `enter; alloc; retire; leave` churn per thread — and sweeps the thread
+//! count far past the core count. The paper's claim to check: aggregate
+//! retire throughput of the Hyaline variants stays roughly flat once cores
+//! saturate (each retire is an O(1) batch append; each leave walks only
+//! batches retired during the operation), while scan-based schemes pay an
+//! O(n)-in-threads scan whenever they reclaim, so their aggregate
+//! throughput decays as threads are added.
+
+use bench_harness::cli::BenchScale;
+use bench_harness::report::FigureTable;
+use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+use smr_baselines::{Ebr, He, Hp, Ibr};
+use smr_core::{Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Aggregate alloc+retire throughput (Mops) for one scheme at `threads`.
+fn churn_mops<S: Smr<u64>>(threads: usize, secs: f64, config: &SmrConfig) -> f64 {
+    let domain = &S::with_config(config.clone());
+    let stop = &AtomicBool::new(false);
+    let barrier = &Barrier::new(threads + 1);
+    let total: u64 = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut h = domain.handle();
+                    let mut ops = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        h.enter();
+                        let node = h.alloc(t as u64 + ops);
+                        unsafe { h.retire(node) };
+                        h.leave();
+                        ops += 1;
+                    }
+                    h.flush();
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::SeqCst);
+        let _ = start;
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    assert!(
+        domain.stats().balanced(),
+        "{}: unbalanced after quiescence",
+        S::name()
+    );
+    total as f64 / secs / 1e6
+}
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let secs = scale.base.secs;
+    let config = scale.base.config.clone();
+    const SCHEMES: &[&str] = &[
+        "Hyaline",
+        "Hyaline-1",
+        "Hyaline-S",
+        "Hyaline-1S",
+        "Epoch",
+        "IBR",
+        "HE",
+        "HP",
+    ];
+    println!(
+        "== Theorem 3: pure alloc+retire churn, {secs:.2}s per cell, {} slots ==\n",
+        config.slots
+    );
+    let mut table = FigureTable::new(
+        "Theorem 3 — aggregate retire throughput vs thread count".to_string(),
+        "threads",
+        "Mops/s",
+        SCHEMES,
+    );
+    for &t in &scale.threads {
+        let row = SCHEMES
+            .iter()
+            .map(|&scheme| {
+                Some(match scheme {
+                    "Hyaline" => churn_mops::<Hyaline<u64>>(t, secs, &config),
+                    "Hyaline-1" => churn_mops::<Hyaline1<u64>>(t, secs, &config),
+                    "Hyaline-S" => churn_mops::<HyalineS<u64>>(t, secs, &config),
+                    "Hyaline-1S" => churn_mops::<Hyaline1S<u64>>(t, secs, &config),
+                    "Epoch" => churn_mops::<Ebr<u64>>(t, secs, &config),
+                    "IBR" => churn_mops::<Ibr<u64>>(t, secs, &config),
+                    "HE" => churn_mops::<He<u64>>(t, secs, &config),
+                    "HP" => churn_mops::<Hp<u64>>(t, secs, &config),
+                    _ => unreachable!(),
+                })
+            })
+            .collect();
+        table.push_row(t, row);
+    }
+    println!("{table}");
+    println!(
+        "Shape to check (Theorem 3): Hyaline columns stay roughly flat past the\n\
+         core count; scan-based schemes decay as each reclaiming scan visits\n\
+         every registered thread."
+    );
+}

@@ -1,0 +1,61 @@
+//! Stress/bisect tool: runs a single `(scheme, structure)` benchmark cell
+//! in isolation so crashes can be attributed to one combination.
+//!
+//! ```text
+//! cargo run --release -p bench --bin smr_stress -- \
+//!     --scheme Hyaline --structure hashmap --secs 1 --threads 8
+//! ```
+
+use bench_harness::cli::BenchScale;
+use bench_harness::registry::{run_combo, ALL_SCHEMES, STRUCTURES};
+use bench_harness::workload::OpMix;
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut scheme = "Hyaline".to_string();
+    let mut structure = "hashmap".to_string();
+    let mut mix = OpMix::WriteIntensive;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                if let Some(v) = args.get(i + 1) {
+                    scheme = v.clone();
+                    i += 1;
+                }
+            }
+            "--structure" => {
+                if let Some(v) = args.get(i + 1) {
+                    structure = v.clone();
+                    i += 1;
+                }
+            }
+            "--read-mostly" => mix = OpMix::ReadMostly,
+            _ => {}
+        }
+        i += 1;
+    }
+    if !ALL_SCHEMES.contains(&scheme.as_str()) {
+        eprintln!("unknown scheme {scheme}; known: {ALL_SCHEMES:?}");
+        std::process::exit(2);
+    }
+    if !STRUCTURES.contains(&structure.as_str()) {
+        eprintln!("unknown structure {structure}; known: {STRUCTURES:?}");
+        std::process::exit(2);
+    }
+    for &threads in &scale.threads {
+        let params = bench_harness::driver::BenchParams {
+            threads,
+            mix,
+            ..scale.base.clone()
+        };
+        match run_combo(&scheme, &structure, &params) {
+            Some(r) => println!(
+                "{scheme:>10} {structure:>8} t={threads:<3} {:.4} Mops/s, unreclaimed {:.1}, ops {}, retired {}, freed {}",
+                r.mops, r.avg_unreclaimed, r.ops, r.retired, r.freed
+            ),
+            None => println!("{scheme:>10} {structure:>8} t={threads:<3} unsupported"),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Benchmark targets for the Hyaline reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a bench target
+//! (`cargo bench -p bench --bench <name>`); see `DESIGN.md`'s
+//! per-experiment index for the mapping. All targets accept the scale
+//! flags documented in [`bench_harness::cli`].
+
+pub use bench_harness;

@@ -1,0 +1,371 @@
+//! Batch construction and the retired-node header layout.
+//!
+//! Section 3.2 of the paper: threads accumulate retired nodes into local
+//! *batches* and keep a single reference counter per batch. Each node keeps
+//! three header words regardless of batch size or slot count:
+//!
+//! * **word 0** — the per-slot retirement-list `Next` pointer once the node
+//!   is used to insert the batch into a slot. Before retirement the same word
+//!   holds the node's *birth era* (Hyaline-S; "birth eras share space with
+//!   other variables, e.g. Next, as they are not required to survive
+//!   retire"). On the batch's dedicated **REFS node** this word is the
+//!   batch's `NRef` counter.
+//! * **word 1** — `batch_link`: a pointer to the REFS node. On the REFS node
+//!   itself this word stores the batch's `Adjs` constant instead (Section
+//!   4.3: "the NRef node itself does not need to keep this pointer. Instead,
+//!   we use this variable to store the current Adjs value for the batch").
+//! * **word 2** — `batch_next`: the chain linking all nodes of the batch,
+//!   with the low bit flagging whether the node carries a live payload
+//!   (dummy padding nodes, used to finalize partial batches, do not). On the
+//!   REFS node — the chain's tail — this word points back to the chain head
+//!   (`First` in the paper's `free_batch(Ref->First)`).
+
+use smr_core::{NodeHeader, SmrNode};
+use std::sync::atomic::Ordering;
+
+/// Header word holding the slot-list `Next` / birth era / `NRef`.
+pub(crate) const W_NEXT: usize = 0;
+/// Header word holding `batch_link` / the batch `Adjs`.
+pub(crate) const W_LINK: usize = 1;
+/// Header word holding the `batch_next` chain (low bit: payload-live flag).
+pub(crate) const W_CHAIN: usize = 2;
+
+/// Low bit of `W_CHAIN`: set when the node has a live payload.
+const LIVE_BIT: usize = 1;
+
+#[inline]
+pub(crate) unsafe fn header<'a, T: 'a>(node: *mut SmrNode<T>) -> &'a NodeHeader {
+    (*node).header()
+}
+
+/// A thread-local batch under construction.
+///
+/// The first node pushed becomes the batch's REFS node (the chain tail); all
+/// later nodes prepend to the chain and point at the REFS node through
+/// `word 1`.
+pub(crate) struct LocalBatch<T> {
+    chain_head: *mut SmrNode<T>,
+    refs_node: *mut SmrNode<T>,
+    count: usize,
+    min_birth: u64,
+}
+
+impl<T> LocalBatch<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            chain_head: std::ptr::null_mut(),
+            refs_node: std::ptr::null_mut(),
+            count: 0,
+            min_birth: u64::MAX,
+        }
+    }
+
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds a retired node to the batch.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be exclusively owned (already unlinked and retired) and
+    /// must remain untouched until the batch is finalized and inserted.
+    pub(crate) unsafe fn push(&mut self, node: *mut SmrNode<T>, birth: u64, live: bool) {
+        let live_flag = if live { LIVE_BIT } else { 0 };
+        header(node)
+            .word(W_CHAIN)
+            .store(self.chain_head as usize | live_flag, Ordering::Relaxed);
+        if self.refs_node.is_null() {
+            self.refs_node = node;
+        } else {
+            header(node)
+                .word(W_LINK)
+                .store(self.refs_node as usize, Ordering::Relaxed);
+        }
+        self.chain_head = node;
+        self.count += 1;
+        self.min_birth = self.min_birth.min(birth);
+    }
+
+    /// Freezes the batch: initializes `NRef` to zero, records the batch's
+    /// `Adjs`, and closes the chain cycle (REFS → chain head).
+    ///
+    /// Returns `(refs_node, chain_head, min_birth)` and resets the batch.
+    ///
+    /// # Safety
+    ///
+    /// The batch must be non-empty.
+    pub(crate) unsafe fn finalize(&mut self, adjs: usize) -> FinalizedBatch<T> {
+        debug_assert!(!self.is_empty());
+        let refs = self.refs_node;
+        header(refs).word(W_NEXT).store(0, Ordering::Relaxed); // NRef = 0
+        header(refs).word(W_LINK).store(adjs, Ordering::Relaxed);
+        let live = header(refs).word(W_CHAIN).load(Ordering::Relaxed) & LIVE_BIT;
+        header(refs)
+            .word(W_CHAIN)
+            .store(self.chain_head as usize | live, Ordering::Relaxed);
+        let out = FinalizedBatch {
+            refs_node: refs,
+            chain_head: self.chain_head,
+            min_birth: self.min_birth,
+            count: self.count,
+        };
+        *self = Self::new();
+        out
+    }
+}
+
+/// A frozen batch ready for insertion into the slot lists.
+pub(crate) struct FinalizedBatch<T> {
+    pub(crate) refs_node: *mut SmrNode<T>,
+    pub(crate) chain_head: *mut SmrNode<T>,
+    pub(crate) min_birth: u64,
+    pub(crate) count: usize,
+}
+
+impl<T> FinalizedBatch<T> {
+    /// Prepends a fresh dummy node to the chain, returning it.
+    ///
+    /// Hyaline-1 uses this when more slots turn out to be active than the
+    /// batch has insertion nodes (threads registered between batch sizing
+    /// and insertion). Mutating the chain is safe while the batch's final
+    /// `Inserts`/`Empty` adjustment is still pending: `NRef` cannot cross
+    /// zero before that adjustment, so no concurrent thread can be freeing
+    /// or walking the chain yet.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the inserting thread before the batch's final
+    /// [`adjust_refs`] call.
+    pub(crate) unsafe fn extend_with_dummy(&mut self) -> *mut SmrNode<T> {
+        let dummy = SmrNode::<T>::alloc_dummy().as_ptr();
+        header(dummy)
+            .word(W_LINK)
+            .store(self.refs_node as usize, Ordering::Relaxed);
+        header(dummy)
+            .word(W_CHAIN)
+            .store(self.chain_head as usize, Ordering::Relaxed); // live bit clear
+        let refs_w2 = header(self.refs_node).word(W_CHAIN).load(Ordering::Relaxed);
+        header(self.refs_node)
+            .word(W_CHAIN)
+            .store(dummy as usize | (refs_w2 & LIVE_BIT), Ordering::Relaxed);
+        self.chain_head = dummy;
+        self.count += 1;
+        dummy
+    }
+}
+
+/// Follows the batch chain (`word 2`, pointer part).
+///
+/// # Safety
+///
+/// `node` must be a live batch node.
+#[inline]
+pub(crate) unsafe fn chain_next<T>(node: *mut SmrNode<T>) -> *mut SmrNode<T> {
+    (header(node).word(W_CHAIN).load(Ordering::Relaxed) & !LIVE_BIT) as *mut SmrNode<T>
+}
+
+/// Decrements the `NRef` of the batch `node` belongs to by one (the paper's
+/// `traverse` step, Figure 3 line 50). If the counter crosses zero the REFS
+/// node is pushed onto `reap` for deferred freeing.
+///
+/// # Safety
+///
+/// `node` must be a non-REFS batch node whose batch has been finalized, and
+/// the caller must still hold a logical reference to it.
+#[inline]
+pub(crate) unsafe fn decrement<T>(node: *mut SmrNode<T>, reap: &mut Vec<*mut SmrNode<T>>) {
+    let refs = header(node).word(W_LINK).load(Ordering::Acquire) as *mut SmrNode<T>;
+    adjust_refs(refs, 1usize.wrapping_neg(), reap);
+}
+
+/// Credits the batch `node` belongs to with one slot's completion: its own
+/// stored `Adjs` plus `href_snapshot` (the paper's `adjust(node, Adjs +
+/// Head.HRef)`, Figure 3 lines 17/39). Reading `Adjs` from the batch's REFS
+/// node — rather than a global — is what makes §4.3 adaptive resizing sound:
+/// every batch is adjusted with the slot count it was retired under.
+///
+/// # Safety
+///
+/// Same requirements as [`decrement`].
+#[inline]
+pub(crate) unsafe fn adjust_slot_credit<T>(
+    node: *mut SmrNode<T>,
+    href_snapshot: usize,
+    reap: &mut Vec<*mut SmrNode<T>>,
+) {
+    let refs = header(node).word(W_LINK).load(Ordering::Acquire) as *mut SmrNode<T>;
+    let adjs = header(refs).word(W_LINK).load(Ordering::Acquire);
+    adjust_refs(refs, adjs.wrapping_add(href_snapshot), reap);
+}
+
+/// Adds `val` to a batch's `NRef` given its REFS node directly (the paper's
+/// `adjust(batch->FirstNode(), Empty)` / Hyaline-1 `Inserts` adjustment).
+///
+/// # Safety
+///
+/// `refs` must be a finalized batch's REFS node.
+#[inline]
+pub(crate) unsafe fn adjust_refs<T>(
+    refs: *mut SmrNode<T>,
+    val: usize,
+    reap: &mut Vec<*mut SmrNode<T>>,
+) {
+    let old = header(refs).word(W_NEXT).fetch_add(val, Ordering::AcqRel);
+    if old.wrapping_add(val) == 0 {
+        reap.push(refs);
+    }
+}
+
+/// Frees every node of the batch owned by `refs`, returning how many nodes
+/// were freed (dummies included).
+///
+/// # Safety
+///
+/// The batch's `NRef` must have crossed zero: no thread can still reference
+/// any node of the batch.
+pub(crate) unsafe fn free_batch<T>(refs: *mut SmrNode<T>) -> u64 {
+    let refs_word = header(refs).word(W_CHAIN).load(Ordering::Acquire);
+    let mut cur = (refs_word & !LIVE_BIT) as *mut SmrNode<T>;
+    let mut freed = 0u64;
+    while cur != refs {
+        let w = header(cur).word(W_CHAIN).load(Ordering::Relaxed);
+        let next = (w & !LIVE_BIT) as *mut SmrNode<T>;
+        SmrNode::dealloc(cur, w & LIVE_BIT != 0);
+        freed += 1;
+        cur = next;
+    }
+    SmrNode::dealloc(refs, refs_word & LIVE_BIT != 0);
+    freed + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static DROPS: AtomicU64 = AtomicU64::new(0);
+    struct Payload;
+    impl Drop for Payload {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn batch_chain_and_free() {
+        DROPS.store(0, Ordering::Relaxed);
+        let mut batch = LocalBatch::<Payload>::new();
+        for i in 0..5 {
+            let node = SmrNode::alloc(Payload);
+            unsafe { batch.push(node.as_ptr(), 100 + i, true) };
+        }
+        assert_eq!(batch.count(), 5);
+        let fin = unsafe { batch.finalize(0) };
+        assert_eq!(fin.min_birth, 100);
+        assert_eq!(fin.count, 5);
+
+        // Chain from head reaches the REFS node in (count - 1) hops.
+        let mut cur = fin.chain_head;
+        let mut hops = 0;
+        while cur != fin.refs_node {
+            cur = unsafe { chain_next(cur) };
+            hops += 1;
+        }
+        assert_eq!(hops, 4);
+
+        let freed = unsafe { free_batch(fin.refs_node) };
+        assert_eq!(freed, 5);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn dummy_nodes_freed_without_drop() {
+        DROPS.store(0, Ordering::Relaxed);
+        let mut batch = LocalBatch::<Payload>::new();
+        let real = SmrNode::alloc(Payload);
+        unsafe { batch.push(real.as_ptr(), 1, true) };
+        for _ in 0..3 {
+            let dummy = unsafe { SmrNode::<Payload>::alloc_dummy() };
+            unsafe { batch.push(dummy.as_ptr(), u64::MAX, false) };
+        }
+        let fin = unsafe { batch.finalize(0) };
+        assert_eq!(fin.min_birth, 1);
+        let freed = unsafe { free_batch(fin.refs_node) };
+        assert_eq!(freed, 4);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1, "only the real payload drops");
+    }
+
+    #[test]
+    fn adjust_crosses_zero_exactly_once() {
+        let mut batch = LocalBatch::<u32>::new();
+        for v in 0..3 {
+            let node = SmrNode::alloc(v);
+            unsafe { batch.push(node.as_ptr(), 0, true) };
+        }
+        let fin = unsafe { batch.finalize(0) };
+        let mut reap = Vec::new();
+        // Simulate: +5 (insert credit), then five -1 decrements.
+        unsafe { adjust_refs(fin.refs_node, 5, &mut reap) };
+        assert!(reap.is_empty());
+        for i in 0..5 {
+            unsafe { decrement(fin.chain_head, &mut reap) };
+            assert_eq!(reap.len(), usize::from(i == 4));
+        }
+        assert_eq!(reap.len(), 1);
+        assert_eq!(reap[0], fin.refs_node);
+        unsafe { free_batch(fin.refs_node) };
+    }
+
+    #[test]
+    fn slot_credit_uses_batch_stored_adjs() {
+        // Two batches finalized under different slot counts must be adjusted
+        // with their own Adjs values (the §4.3 adaptive-resizing invariant).
+        let adjs_small = (usize::MAX / 2).wrapping_add(1); // k = 2
+        let mut batch = LocalBatch::<u32>::new();
+        for v in 0..3 {
+            let node = SmrNode::alloc(v);
+            unsafe { batch.push(node.as_ptr(), 0, true) };
+        }
+        let fin = unsafe { batch.finalize(adjs_small) };
+        let mut reap = Vec::new();
+        // One slot credited with HRef snapshot 1, then one decrement, then
+        // the second slot's credit: NRef = 2*Adjs + 1 - 1 = 0 (mod 2^64).
+        unsafe { adjust_slot_credit(fin.chain_head, 1, &mut reap) };
+        assert!(reap.is_empty());
+        unsafe { decrement(fin.chain_head, &mut reap) };
+        assert!(reap.is_empty());
+        unsafe { adjust_slot_credit(fin.chain_head, 0, &mut reap) };
+        assert_eq!(reap.len(), 1);
+        unsafe { free_batch(fin.refs_node) };
+    }
+
+    #[test]
+    fn adjust_with_zero_frees_untouched_batch() {
+        // The all-slots-empty retire path: Empty = k * Adjs wraps to zero and
+        // NRef is still zero, so the batch frees immediately.
+        let mut batch = LocalBatch::<u32>::new();
+        for v in 0..2 {
+            let node = SmrNode::alloc(v);
+            unsafe { batch.push(node.as_ptr(), 0, true) };
+        }
+        let fin = unsafe { batch.finalize(0) };
+        let mut reap = Vec::new();
+        unsafe { adjust_refs(fin.refs_node, 0, &mut reap) };
+        assert_eq!(reap.len(), 1);
+        unsafe { free_batch(fin.refs_node) };
+    }
+
+    #[test]
+    fn singleton_batch_free() {
+        let mut batch = LocalBatch::<u32>::new();
+        let node = SmrNode::alloc(1);
+        unsafe { batch.push(node.as_ptr(), 0, true) };
+        let fin = unsafe { batch.finalize(0) };
+        assert_eq!(unsafe { free_batch(fin.refs_node) }, 1);
+    }
+}

@@ -1,0 +1,591 @@
+//! The general Hyaline algorithm (Figure 3 of the paper): multiple slot
+//! retirement lists, batched retirement, and `Adjs` wrap-around accounting.
+
+use crossbeam_utils::CachePadded;
+use smr_core::{Atomic, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats};
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::batch::{
+    adjust_refs, adjust_slot_credit, chain_next, decrement, free_batch, header, FinalizedBatch,
+    LocalBatch, W_NEXT,
+};
+use crate::head::{AtomicHead, HeadWord};
+
+/// Computes the paper's `Adjs` constant: `⌊(2^64 - 1) / k⌋ + 1 = 2^64 / k`
+/// for power-of-two `k`, so that `k * Adjs == 0 (mod 2^64)`.
+pub(crate) fn adjs_for(slots: usize) -> usize {
+    debug_assert!(slots.is_power_of_two());
+    (usize::MAX / slots).wrapping_add(1)
+}
+
+/// The general Hyaline reclamation domain (paper Sections 3.1–3.3, Figure 3).
+///
+/// `k` cache-padded slots each hold a `[HRef, HPtr]` head of a retirement
+/// list. `enter` fetch-adds the slot's reference count; `retire` accumulates
+/// nodes into local batches and appends full batches to every active slot;
+/// `leave` decrements the count and walks the sublist of batches retired
+/// during the operation, decrementing per-batch reference counters. The
+/// thread that brings a batch's counter to zero frees the whole batch —
+/// *asynchronous tracking*: nobody ever re-checks other threads' state.
+///
+/// Hyaline is fully *transparent*: handles need no registration, any number
+/// of threads may share the fixed `k` slots, and a dropped handle finalizes
+/// its partial batch with dummy nodes so the thread is immediately "off the
+/// hook". It is **not robust**: a stalled thread inside an operation pins
+/// every batch retired in its slot since it entered (use
+/// [`HyalineS`](crate::HyalineS) when robustness matters).
+///
+/// # Example
+///
+/// ```
+/// use hyaline::Hyaline;
+/// use smr_core::{Smr, SmrHandle};
+///
+/// let domain: Hyaline<u64> = Hyaline::new();
+/// let mut h = domain.handle();
+/// h.enter();
+/// let node = h.alloc(7);
+/// unsafe { h.retire(node) };
+/// h.leave();
+/// ```
+pub struct Hyaline<T: Send + 'static> {
+    slots: Box<[CachePadded<AtomicHead>]>,
+    adjs: usize,
+    batch_size: usize,
+    next_slot: AtomicUsize,
+    stats: SmrStats,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Hyaline<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hyaline")
+            .field("slots", &self.slots.len())
+            .field("batch_size", &self.batch_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Hyaline<T> {
+    fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Smallest legal batch: strictly more nodes than slots (Section 3.2).
+    fn min_insert_size(&self) -> usize {
+        self.slot_count() + 1
+    }
+}
+
+impl<T: Send + 'static> Smr<T> for Hyaline<T> {
+    type Handle<'d> = HyalineHandle<'d, T>;
+
+    fn with_config(config: SmrConfig) -> Self {
+        assert!(
+            config.slots.is_power_of_two(),
+            "Hyaline requires a power-of-two slot count"
+        );
+        let slots = (0..config.slots)
+            .map(|_| CachePadded::new(AtomicHead::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            adjs: adjs_for(config.slots),
+            batch_size: config.effective_batch_size(),
+            slots,
+            next_slot: AtomicUsize::new(0),
+            stats: SmrStats::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn handle(&self) -> HyalineHandle<'_, T> {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) & (self.slot_count() - 1);
+        HyalineHandle {
+            domain: self,
+            slot,
+            handle: ptr::null_mut(),
+            active: false,
+            batch: LocalBatch::new(),
+            reap: Vec::new(),
+            local_stats: LocalStats::new(),
+        }
+    }
+
+    fn stats(&self) -> &SmrStats {
+        &self.stats
+    }
+
+    fn name() -> &'static str {
+        "Hyaline"
+    }
+
+    fn robust() -> bool {
+        false
+    }
+
+    fn supports_trim() -> bool {
+        true
+    }
+}
+
+impl<T: Send + 'static> Drop for Hyaline<T> {
+    fn drop(&mut self) {
+        // All handles borrowed `self`, so by now every thread has left and
+        // flushed: each slot's final leave detached and reaped its list.
+        for slot in self.slots.iter() {
+            debug_assert_eq!(
+                slot.load(Ordering::Acquire),
+                HeadWord::EMPTY,
+                "Hyaline domain dropped with a non-empty slot"
+            );
+        }
+    }
+}
+
+/// Per-thread handle to a [`Hyaline`] domain.
+pub struct HyalineHandle<'d, T: Send + 'static> {
+    domain: &'d Hyaline<T>,
+    slot: usize,
+    handle: *mut SmrNode<T>,
+    active: bool,
+    batch: LocalBatch<T>,
+    reap: Vec<*mut SmrNode<T>>,
+    local_stats: LocalStats,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for HyalineHandle<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyalineHandle")
+            .field("slot", &self.slot)
+            .field("active", &self.active)
+            .field("batch_len", &self.batch.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> HyalineHandle<'_, T> {
+    /// The slot this handle currently enters through.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Walks the retirement sublist from `next` down to (and including) the
+    /// handle node, decrementing each batch's `NRef` (Figure 3, `traverse`).
+    unsafe fn traverse(&mut self, mut next: *mut SmrNode<T>) {
+        let handle = self.handle;
+        loop {
+            let curr = next;
+            if curr.is_null() {
+                break;
+            }
+            // Read the link *before* the decrement: our decrement may be the
+            // batch's last, after which the node may be freed by `drain`.
+            next = header(curr).word(W_NEXT).load(Ordering::Acquire) as *mut SmrNode<T>;
+            decrement(curr, &mut self.reap);
+            if curr == handle {
+                break;
+            }
+        }
+    }
+
+    /// Appends a finalized batch to every active slot (Figure 3, `retire`).
+    unsafe fn insert_batch(&mut self, fin: FinalizedBatch<T>) {
+        let domain = self.domain;
+        let mut insert_node = fin.chain_head;
+        let mut empty_adjs: usize = 0;
+        let mut any_empty = false;
+        for slot in domain.slots.iter() {
+            loop {
+                let head = slot.load(Ordering::Acquire);
+                if head.refs() == 0 {
+                    // REF #1#: no active threads; account an Adjs for this
+                    // slot directly on the batch at the end.
+                    any_empty = true;
+                    empty_adjs = empty_adjs.wrapping_add(domain.adjs);
+                    break;
+                }
+                debug_assert!(
+                    insert_node != fin.refs_node,
+                    "batch has fewer nodes than slots + 1"
+                );
+                header(insert_node)
+                    .word(W_NEXT)
+                    .store(head.ptr_bits(), Ordering::Relaxed);
+                let new = head.with_ptr(insert_node);
+                if slot
+                    .compare_exchange(head, new, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // REF #2#: credit the predecessor with Adjs plus the
+                    // snapshot of HRef taken by the winning CAS.
+                    let pred: *mut SmrNode<T> = head.ptr();
+                    if !pred.is_null() {
+                        adjust_slot_credit(pred, head.refs(), &mut self.reap);
+                    }
+                    insert_node = chain_next(insert_node);
+                    break;
+                }
+            }
+        }
+        if any_empty {
+            // REF #3#: contribute the skipped slots' Adjs in one shot. When
+            // *all* slots were empty this wraps to zero and frees the
+            // untouched batch immediately.
+            adjust_refs(fin.refs_node, empty_adjs, &mut self.reap);
+        }
+    }
+
+    /// Pads the partial batch with payload-less dummy nodes up to the
+    /// minimum insertable size and retires it (Section 2.4: partial batches
+    /// "can be immediately finalized by allocating a finite number of dummy
+    /// nodes").
+    fn finalize_partial(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        while self.batch.count() < self.domain.min_insert_size() {
+            let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
+            self.local_stats.on_alloc(&self.domain.stats);
+            self.local_stats.on_retire(&self.domain.stats);
+            unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
+        }
+        let fin = unsafe { self.batch.finalize(self.domain.adjs) };
+        unsafe { self.insert_batch(fin) };
+    }
+
+    /// Frees all reaped batches, oldest first (the paper's deferred
+    /// deallocation list that reverses LIFO reaping into FIFO freeing).
+    fn drain(&mut self) {
+        if self.reap.is_empty() {
+            return;
+        }
+        let mut freed = 0;
+        for refs in std::mem::take(&mut self.reap) {
+            freed += unsafe { free_batch(refs) };
+        }
+        self.local_stats.on_free(&self.domain.stats, freed);
+    }
+}
+
+impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
+    fn enter(&mut self) {
+        debug_assert!(!self.active, "enter while already inside an operation");
+        let old = self.domain.slots[self.slot].enter_faa();
+        self.handle = old.ptr();
+        self.active = true;
+    }
+
+    fn leave(&mut self) {
+        debug_assert!(self.active, "leave without a matching enter");
+        self.active = false;
+        let slot = &self.domain.slots[self.slot];
+        let (old_head, curr, next) = loop {
+            let head = slot.load(Ordering::Acquire);
+            let curr: *mut SmrNode<T> = head.ptr();
+            let mut next = ptr::null_mut();
+            if curr != self.handle {
+                // A non-handle head exists only while we (an active thread)
+                // hold a reference to it, so reading its Next is safe.
+                debug_assert!(!curr.is_null());
+                next = unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) }
+                    as *mut SmrNode<T>;
+            }
+            let mut new = head.with_refs(head.refs() - 1);
+            if head.refs() == 1 {
+                new = new.with_ptr(ptr::null_mut::<SmrNode<T>>());
+            }
+            if slot
+                .compare_exchange(head, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break (head, curr, next);
+            }
+        };
+        if old_head.refs() == 1 && !curr.is_null() {
+            // We detached the list: the head node never gets a successor, so
+            // give it its final per-slot Adjs as if it were a predecessor.
+            unsafe { adjust_slot_credit(curr, 0, &mut self.reap) };
+        }
+        if curr != self.handle {
+            unsafe { self.traverse(next) };
+        }
+        self.handle = ptr::null_mut();
+        self.drain();
+    }
+
+    /// Hyaline's real §3.3 trimming: dereferences the sublist retired since
+    /// `enter` (or the previous `trim`) without touching the slot `Head`.
+    fn trim(&mut self) {
+        debug_assert!(self.active, "trim outside an operation");
+        let head = self.domain.slots[self.slot].load(Ordering::Acquire);
+        let curr: *mut SmrNode<T> = head.ptr();
+        if curr != self.handle {
+            debug_assert!(!curr.is_null());
+            let next =
+                unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) } as *mut SmrNode<T>;
+            unsafe { self.traverse(next) };
+            self.handle = curr;
+        }
+        self.drain();
+    }
+
+    fn alloc(&mut self, value: T) -> Shared<T> {
+        self.local_stats.on_alloc(&self.domain.stats);
+        Shared::from_node(SmrNode::alloc(value))
+    }
+
+    unsafe fn dealloc(&mut self, ptr: Shared<T>) {
+        self.local_stats.on_dealloc(&self.domain.stats);
+        SmrNode::dealloc(ptr.as_node_ptr(), true);
+    }
+
+    fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
+        // Plain Hyaline needs no per-access protection: active threads are
+        // tracked through the slot reference counts alone (Figure 1a: "No
+        // deref in basic Hyaline").
+        src.load(Ordering::Acquire)
+    }
+
+    unsafe fn retire(&mut self, ptr: Shared<T>) {
+        debug_assert!(self.active, "retire outside an operation");
+        let node = ptr.as_node_ptr();
+        self.local_stats.on_retire(&self.domain.stats);
+        self.batch.push(node, 0, true);
+        if self.batch.count() >= self.domain.batch_size {
+            let fin = self.batch.finalize(self.domain.adjs);
+            self.insert_batch(fin);
+            self.drain();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.finalize_partial();
+        self.drain();
+        self.local_stats.flush(&self.domain.stats);
+    }
+}
+
+impl<T: Send + 'static> Drop for HyalineHandle<'_, T> {
+    fn drop(&mut self) {
+        if self.active {
+            self.leave();
+        }
+        self.finalize_partial();
+        self.drain();
+        self.local_stats.flush(&self.domain.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_domain() -> Hyaline<u64> {
+        Hyaline::with_config(SmrConfig {
+            slots: 4,
+            batch_min: 2, // effective batch size = slots + 1 = 5
+            ..SmrConfig::default()
+        })
+    }
+
+    #[test]
+    fn adjs_constant_matches_paper() {
+        // k = 1 -> Adjs = 0 (unsigned overflow); k = 8 with 64-bit -> 2^61.
+        assert_eq!(adjs_for(1), 0);
+        assert_eq!(adjs_for(8), 1usize << 61);
+        // k * Adjs == 0 (mod 2^64) for every power of two.
+        for shift in 0..16 {
+            let k = 1usize << shift;
+            assert_eq!(adjs_for(k).wrapping_mul(k), 0);
+        }
+    }
+
+    #[test]
+    fn single_thread_retire_reclaims_everything() {
+        let domain = small_domain();
+        {
+            let mut h = domain.handle();
+            for i in 0..100u64 {
+                h.enter();
+                let node = h.alloc(i);
+                unsafe { h.retire(node) };
+                h.leave();
+            }
+        }
+        assert_eq!(domain.stats().allocated(), domain.stats().freed());
+        assert!(domain.stats().balanced());
+    }
+
+    #[test]
+    fn partial_batch_finalized_on_drop() {
+        let domain = small_domain();
+        {
+            let mut h = domain.handle();
+            h.enter();
+            let node = h.alloc(1);
+            unsafe { h.retire(node) };
+            h.leave();
+            // One node in the local batch; drop must dummy-pad and insert.
+        }
+        assert!(domain.stats().balanced());
+        assert!(domain.stats().freed() >= 1);
+    }
+
+    #[test]
+    fn protect_is_plain_load() {
+        let domain = small_domain();
+        let mut h = domain.handle();
+        h.enter();
+        let node = h.alloc(42);
+        let link = Atomic::new(node);
+        let seen = h.protect(0, &link);
+        assert_eq!(seen, node);
+        assert_eq!(unsafe { *seen.deref() }, 42);
+        unsafe { h.retire(node) };
+        h.leave();
+    }
+
+    #[test]
+    fn dealloc_unpublished_node() {
+        let domain = small_domain();
+        let mut h = domain.handle();
+        let node = h.alloc(5);
+        unsafe { h.dealloc(node) };
+        drop(h);
+        assert!(domain.stats().balanced());
+        assert_eq!(domain.stats().deallocated(), 1);
+    }
+
+    #[test]
+    fn concurrent_stalled_reader_blocks_then_releases() {
+        // A reader inside an operation must pin batches retired after its
+        // enter; once it leaves, they are freed.
+        let domain = &small_domain();
+        let barrier = &std::sync::Barrier::new(2);
+        let release = &std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut reader = domain.handle();
+                reader.enter();
+                barrier.wait(); // reader is inside
+                release.wait(); // hold the reservation until told
+                reader.leave();
+            });
+            let mut writer = domain.handle();
+            barrier.wait();
+            // Retire enough for several full batches.
+            for i in 0..64u64 {
+                writer.enter();
+                let node = writer.alloc(i);
+                unsafe { writer.retire(node) };
+                writer.leave();
+            }
+            writer.flush();
+            // All 64 retirements happened while the reader was inside its
+            // operation; at least the batches inserted into the reader's
+            // slot can still be pinned. Let the reader go.
+            release.wait();
+        });
+        // Everything reclaims after all threads left.
+        assert!(domain.stats().balanced());
+        assert_eq!(
+            domain.stats().allocated(),
+            domain.stats().freed(),
+            "all retired + dummy nodes freed after quiescence"
+        );
+    }
+
+    #[test]
+    fn trim_reclaims_without_leaving() {
+        let domain = &Hyaline::<u64>::with_config(SmrConfig {
+            slots: 1, // single list: the trimming thread sees every batch
+            batch_min: 2,
+            ..SmrConfig::default()
+        });
+        let mut h = domain.handle();
+        h.enter();
+        // Fill and insert exactly one batch (batch size = slots + 1 = 2... max(2, 2) = 2).
+        for i in 0..8u64 {
+            let node = h.alloc(i);
+            unsafe { h.retire(node) };
+        }
+        h.flush(); // insert any partial batch
+        let before = domain.stats().freed();
+        h.trim();
+        let after = domain.stats().freed();
+        assert!(
+            after > before,
+            "trim must reclaim batches retired since enter (before={before}, after={after})"
+        );
+        h.leave();
+        drop(h);
+        assert!(domain.stats().balanced());
+    }
+
+    #[test]
+    fn many_threads_stress_reclaims_all() {
+        let domain = &Hyaline::<u64>::with_config(SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    let mut h = domain.handle();
+                    for i in 0..2_000u64 {
+                        h.enter();
+                        let node = h.alloc(t * 10_000 + i);
+                        unsafe { h.retire(node) };
+                        h.leave();
+                    }
+                });
+            }
+        });
+        assert!(domain.stats().balanced());
+        assert_eq!(domain.stats().allocated(), domain.stats().freed());
+    }
+
+    #[test]
+    fn payload_drops_exactly_once() {
+        use std::sync::atomic::AtomicI64;
+        static LIVE: AtomicI64 = AtomicI64::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::Relaxed);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                let prev = LIVE.fetch_sub(1, Ordering::Relaxed);
+                assert!(prev > 0, "double drop detected");
+            }
+        }
+
+        let domain = &Hyaline::<Tracked>::with_config(SmrConfig {
+            slots: 2,
+            batch_min: 3,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut h = domain.handle();
+                    for _ in 0..1_000 {
+                        h.enter();
+                        let node = h.alloc(Tracked::new());
+                        unsafe { h.retire(node) };
+                        h.leave();
+                    }
+                });
+            }
+        });
+        assert_eq!(LIVE.load(Ordering::Relaxed), 0, "payload leak or double drop");
+        assert!(domain.stats().balanced());
+    }
+}

@@ -1,0 +1,56 @@
+//! Hyaline: fast and transparent lock-free memory reclamation.
+//!
+//! This crate implements every algorithm of *"Hyaline: Fast and Transparent
+//! Lock-Free Memory Reclamation"* (Nikolaev & Ravindran, PODC 2019):
+//!
+//! * [`Hyaline`] — the general multiple-list algorithm (Figure 3), including
+//!   the §3.3 `trim` operation.
+//! * [`Hyaline1`] — the single-width-CAS specialization with wait-free
+//!   `enter`/`leave` (Figure 4).
+//! * [`HyalineS`] — the robust extension using birth eras, per-slot access
+//!   eras and `Ack`-based stall detection (Figure 5), with optional §4.3
+//!   adaptive slot resizing (Figure 6).
+//! * [`Hyaline1S`] — the robust per-thread-slot variant.
+//! * [`llsc`] — a software model of single-width LL/SC reservation granules
+//!   and the Figure 7 head operations built on them (the paper's PPC/MIPS
+//!   port, §4.4).
+//!
+//! All variants implement the [`smr_core::Smr`] interface, so any data
+//! structure written against it (see the `lockfree-ds` crate) can use them
+//! interchangeably with the baseline schemes.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hyaline::Hyaline;
+//! use smr_core::{Atomic, Shared, Smr, SmrHandle};
+//! use std::sync::atomic::Ordering;
+//!
+//! let domain: Hyaline<String> = Hyaline::new();
+//! let slot = Atomic::null();
+//!
+//! let mut h = domain.handle();
+//! h.enter();
+//! let node = h.alloc("hello".to_string());
+//! slot.store(node, Ordering::Release);
+//! // ... publish to other threads, operate, then unlink:
+//! let unlinked = slot.swap(Shared::null(), Ordering::AcqRel);
+//! unsafe { h.retire(unlinked) };
+//! h.leave(); // the thread is immediately "off the hook"
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+pub mod head;
+mod hyaline;
+mod hyaline1;
+mod hyaline1_s;
+mod hyaline_s;
+pub mod llsc;
+mod registry;
+
+pub use crate::hyaline::{Hyaline, HyalineHandle};
+pub use crate::hyaline1::{Hyaline1, Hyaline1Handle};
+pub use crate::hyaline1_s::{Hyaline1S, Hyaline1SHandle};
+pub use crate::hyaline_s::{HyalineS, HyalineSHandle};

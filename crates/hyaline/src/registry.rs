@@ -1,0 +1,238 @@
+//! The adaptive slot directory of Section 4.3 (Figure 6) used by Hyaline-S.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use crate::head::AtomicHead;
+
+/// One Hyaline-S slot: the list head, the per-slot access era, and the
+/// stall-detection `Ack` counter (Figure 5), padded to its own cache lines.
+#[derive(Debug)]
+pub(crate) struct SlotS {
+    pub(crate) head: AtomicHead,
+    pub(crate) access: AtomicU64,
+    pub(crate) ack: AtomicI64,
+}
+
+impl SlotS {
+    fn new() -> Self {
+        Self {
+            head: AtomicHead::new(),
+            access: AtomicU64::new(0),
+            ack: AtomicI64::new(0),
+        }
+    }
+}
+
+/// Maximum number of directory entries: with doubling growth from `k_min`,
+/// 64 entries can never be exceeded on a 64-bit machine (Figure 6: "the
+/// number of directory entries is small and fixed, t ≤ 64").
+const DIR_ENTRIES: usize = 64;
+
+/// The Section 4.3 directory of slot banks.
+///
+/// Entry 0 holds the initial `k_min` slots; entry `s ≥ 1` holds slots
+/// `[2^(s-1)·k_min, 2^s·k_min)`. Growing doubles the total slot count by
+/// CAS-installing one new bank; the arrays already handed out are never
+/// moved, so readers need no synchronization beyond an acquire load.
+pub(crate) struct SlotDirectory {
+    banks: [AtomicPtr<CachePadded<SlotS>>; DIR_ENTRIES],
+    k_min: usize,
+    k: AtomicUsize,
+    max_k: usize,
+}
+
+impl SlotDirectory {
+    /// Creates a directory with `k_min` initial slots, growable up to
+    /// `max_k` (both powers of two; `max_k == k_min` disables growth).
+    pub(crate) fn new(k_min: usize, max_k: usize) -> Self {
+        assert!(k_min.is_power_of_two() && max_k.is_power_of_two());
+        assert!(max_k >= k_min);
+        let dir = Self {
+            banks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            k_min,
+            k: AtomicUsize::new(k_min),
+            max_k,
+        };
+        let bank0 = Self::alloc_bank(k_min);
+        dir.banks[0].store(bank0, Ordering::Release);
+        dir
+    }
+
+    fn alloc_bank(len: usize) -> *mut CachePadded<SlotS> {
+        let bank: Box<[CachePadded<SlotS>]> = (0..len)
+            .map(|_| CachePadded::new(SlotS::new()))
+            .collect();
+        Box::into_raw(bank) as *mut CachePadded<SlotS>
+    }
+
+    /// Size of directory bank `s`.
+    fn bank_len(&self, s: usize) -> usize {
+        if s == 0 {
+            self.k_min
+        } else {
+            (1 << (s - 1)) * self.k_min
+        }
+    }
+
+    /// First slot index covered by bank `s`.
+    fn bank_base(&self, s: usize) -> usize {
+        if s == 0 {
+            0
+        } else {
+            (1 << (s - 1)) * self.k_min
+        }
+    }
+
+    /// Directory entry covering slot `i` (Figure 6's `s = log2(⌊i/k_min⌋)+1`
+    /// with `log2(0) = -1`, computed with a leading-zero count).
+    #[inline]
+    fn bank_index(&self, i: usize) -> usize {
+        let q = i / self.k_min;
+        if q == 0 {
+            0
+        } else {
+            (usize::BITS - 1 - q.leading_zeros()) as usize + 1
+        }
+    }
+
+    /// The current slot count `k`.
+    #[inline]
+    pub(crate) fn k(&self) -> usize {
+        self.k.load(Ordering::Acquire)
+    }
+
+    /// Access to slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `i` is outside the current `k`.
+    #[inline]
+    pub(crate) fn slot(&self, i: usize) -> &SlotS {
+        let s = self.bank_index(i);
+        let base = self.bank_base(s);
+        debug_assert!(i < self.k());
+        let bank = self.banks[s].load(Ordering::Acquire);
+        debug_assert!(!bank.is_null());
+        unsafe { &*bank.add(i - base) }
+    }
+
+    /// Doubles the slot count (Section 4.3). Returns `true` if the count
+    /// grew (by us or a racing thread), `false` at the `max_k` cap.
+    pub(crate) fn grow(&self) -> bool {
+        let k = self.k();
+        if k >= self.max_k {
+            return false;
+        }
+        let s = self.bank_index(k); // the bank that starts at slot k
+        debug_assert_eq!(self.bank_base(s), k);
+        if self.banks[s].load(Ordering::Acquire).is_null() {
+            let candidate = Self::alloc_bank(self.bank_len(s));
+            if self.banks[s]
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    candidate,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // A concurrent thread installed the bank; discard ours.
+                unsafe { Self::drop_bank(candidate, self.bank_len(s)) };
+            }
+        }
+        // Publish the new count; racing growers agree on the same value.
+        let _ = self
+            .k
+            .compare_exchange(k, k * 2, Ordering::AcqRel, Ordering::Acquire);
+        true
+    }
+
+    unsafe fn drop_bank(ptr: *mut CachePadded<SlotS>, len: usize) {
+        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
+    }
+}
+
+impl Drop for SlotDirectory {
+    fn drop(&mut self) {
+        for s in 0..DIR_ENTRIES {
+            let ptr = self.banks[s].load(Ordering::Acquire);
+            if !ptr.is_null() {
+                unsafe { Self::drop_bank(ptr, self.bank_len(s)) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SlotDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotDirectory")
+            .field("k_min", &self.k_min)
+            .field("k", &self.k())
+            .field("max_k", &self.max_k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_indexing_matches_figure6() {
+        let dir = SlotDirectory::new(4, 64);
+        assert_eq!(dir.bank_index(0), 0);
+        assert_eq!(dir.bank_index(3), 0);
+        assert_eq!(dir.bank_index(4), 1); // first grown bank
+        assert_eq!(dir.bank_index(7), 1);
+        assert_eq!(dir.bank_index(8), 2);
+        assert_eq!(dir.bank_index(15), 2);
+        assert_eq!(dir.bank_index(16), 3);
+        assert_eq!(dir.bank_base(1), 4);
+        assert_eq!(dir.bank_len(1), 4);
+        assert_eq!(dir.bank_base(2), 8);
+        assert_eq!(dir.bank_len(2), 8);
+    }
+
+    #[test]
+    fn directory_grow_doubles_k() {
+        let dir = SlotDirectory::new(4, 32);
+        assert_eq!(dir.k(), 4);
+        assert!(dir.grow());
+        assert_eq!(dir.k(), 8);
+        assert!(dir.grow());
+        assert_eq!(dir.k(), 16);
+        assert!(dir.grow());
+        assert_eq!(dir.k(), 32);
+        assert!(!dir.grow(), "capped at max_k");
+        // Every slot is addressable and distinct.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..dir.k() {
+            seen.insert(dir.slot(i) as *const _ as usize);
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn directory_concurrent_grow_is_safe() {
+        let dir = &SlotDirectory::new(2, 128);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while dir.grow() {}
+                });
+            }
+        });
+        assert_eq!(dir.k(), 128);
+        for i in 0..128 {
+            dir.slot(i).ack.store(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn non_adaptive_directory_never_grows() {
+        let dir = SlotDirectory::new(8, 8);
+        assert!(!dir.grow());
+        assert_eq!(dir.k(), 8);
+    }
+}

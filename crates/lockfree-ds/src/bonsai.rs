@@ -1,0 +1,613 @@
+//! The Bonsai tree benchmark structure (the paper's Figure 8b/9b): a
+//! path-copying weight-balanced binary tree behind a CAS'd root, after
+//! Clements et al.'s RCU-balanced trees [13] as adapted by the IBR
+//! framework [35].
+//!
+//! Readers traverse an immutable snapshot. Writers rebuild the access path
+//! (and any rebalancing rotations) as fresh nodes and install the new root
+//! with a single CAS, *retiring every replaced node* — which is what makes
+//! this structure a reclamation stress test: every update retires O(log n)
+//! nodes at once.
+//!
+//! Like the paper's benchmark, this structure supports the schemes with
+//! zero-or-cheap per-read protection (Leaky, EBR, the Hyaline family, IBR).
+//! HP/HE cannot run it: a bounded set of hazard indices cannot cover an
+//! unboundedly deep snapshot traversal ("HP and HE are not implemented for
+//! this benchmark due to the complexity of the tree rotation operations"
+//! [35]). Interval/era schemes cover it because [`SmrHandle::protect`] is
+//! called on every hop, ratcheting the reservation.
+
+use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::Ordering;
+
+/// Weight-balance constants (the proven-correct Adams pair).
+const DELTA: usize = 3;
+const RATIO: usize = 2;
+
+/// Protection index for the root snapshot.
+const I_ROOT: usize = 0;
+/// Protection index for traversal hops.
+const I_TRAV: usize = 1;
+
+/// An immutable tree node: fields are written before the publishing root
+/// CAS and never mutated afterwards.
+pub struct BonsaiNode<K, V> {
+    key: K,
+    value: V,
+    size: usize,
+    left: Atomic<BonsaiNode<K, V>>,
+    right: Atomic<BonsaiNode<K, V>>,
+}
+
+impl<K: std::fmt::Debug, V> std::fmt::Debug for BonsaiNode<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BonsaiNode")
+            .field("key", &self.key)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The Bonsai path-copying weight-balanced tree, generic over the
+/// reclamation scheme.
+///
+/// # Example
+///
+/// ```
+/// use hyaline::Hyaline;
+/// use lockfree_ds::BonsaiTree;
+/// use smr_core::SmrHandle;
+///
+/// let tree: BonsaiTree<u64, u64, Hyaline<_>> = BonsaiTree::new();
+/// let mut h = tree.smr_handle();
+/// h.enter();
+/// assert!(tree.insert(&mut h, 10, 100));
+/// assert_eq!(tree.get(&mut h, &10), Some(100));
+/// assert_eq!(tree.remove(&mut h, &10), Some(100));
+/// h.leave();
+/// ```
+pub struct BonsaiTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<BonsaiNode<K, V>>,
+{
+    domain: S,
+    root: Atomic<BonsaiNode<K, V>>,
+}
+
+impl<K, V, S> std::fmt::Debug for BonsaiTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<BonsaiNode<K, V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BonsaiTree")
+            .field("scheme", &S::name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, S> Default for BonsaiTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<BonsaiNode<K, V>>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-write bookkeeping: nodes created for the new version and snapshot
+/// nodes the new version replaces.
+struct WriteSet<K, V> {
+    fresh: Vec<Shared<BonsaiNode<K, V>>>,
+    replaced: Vec<Shared<BonsaiNode<K, V>>>,
+}
+
+impl<K, V> WriteSet<K, V> {
+    fn new() -> Self {
+        Self {
+            fresh: Vec::with_capacity(16),
+            replaced: Vec::with_capacity(16),
+        }
+    }
+
+    /// Records that `node` does not appear in the new version: fresh nodes
+    /// are deallocated immediately (never published), snapshot nodes are
+    /// retired once the root CAS succeeds.
+    fn discard<H: SmrHandle<BonsaiNode<K, V>>>(&mut self, h: &mut H, node: Shared<BonsaiNode<K, V>>) {
+        if let Some(pos) = self.fresh.iter().rposition(|&f| f == node) {
+            self.fresh.swap_remove(pos);
+            unsafe { h.dealloc(node) };
+        } else {
+            self.replaced.push(node);
+        }
+    }
+}
+
+impl<K, V, S> BonsaiTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<BonsaiNode<K, V>>,
+{
+    /// An empty tree with a default-configured domain.
+    pub fn new() -> Self {
+        Self::with_config(SmrConfig::default())
+    }
+
+    /// An empty tree whose reclamation domain uses `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self {
+            domain: S::with_config(config),
+            root: Atomic::null(),
+        }
+    }
+
+    /// The underlying reclamation domain (statistics, etc.).
+    pub fn domain(&self) -> &S {
+        &self.domain
+    }
+
+    /// A per-thread SMR handle for operating on this tree.
+    pub fn smr_handle(&self) -> S::Handle<'_> {
+        self.domain.handle()
+    }
+
+    fn size(node: Shared<BonsaiNode<K, V>>) -> usize {
+        if node.is_null() {
+            0
+        } else {
+            unsafe { node.deref() }.size
+        }
+    }
+
+    fn mk<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: &mut WriteSet<K, V>,
+        key: K,
+        value: V,
+        left: Shared<BonsaiNode<K, V>>,
+        right: Shared<BonsaiNode<K, V>>,
+    ) -> Shared<BonsaiNode<K, V>> {
+        let node = h.alloc(BonsaiNode {
+            key,
+            value,
+            size: 1 + Self::size(left) + Self::size(right),
+            left: Atomic::new(left),
+            right: Atomic::new(right),
+        });
+        ws.fresh.push(node);
+        node
+    }
+
+    /// Adams' rebalancing smart constructor: joins `left`/`right` under
+    /// `(key, value)`, rotating (with fresh copies) when one side outweighs
+    /// the other by more than `DELTA`.
+    fn join<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: &mut WriteSet<K, V>,
+        key: K,
+        value: V,
+        left: Shared<BonsaiNode<K, V>>,
+        right: Shared<BonsaiNode<K, V>>,
+    ) -> Shared<BonsaiNode<K, V>> {
+        let ls = Self::size(left);
+        let rs = Self::size(right);
+        if ls + rs <= 1 {
+            return self.mk(h, ws, key, value, left, right);
+        }
+        if rs > DELTA * ls {
+            // Right-heavy: rotate left.
+            let r_ref = unsafe { right.deref() };
+            let rl = h.protect(I_TRAV, &r_ref.left);
+            let rr = h.protect(I_TRAV, &r_ref.right);
+            let (rk, rv) = (r_ref.key.clone(), r_ref.value.clone());
+            ws.discard(h, right);
+            if Self::size(rl) < RATIO * Self::size(rr) {
+                // Single rotation.
+                let new_left = self.join(h, ws, key, value, left, rl);
+                self.mk(h, ws, rk, rv, new_left, rr)
+            } else {
+                // Double rotation through rl.
+                let rl_ref = unsafe { rl.deref() };
+                let rll = h.protect(I_TRAV, &rl_ref.left);
+                let rlr = h.protect(I_TRAV, &rl_ref.right);
+                let (rlk, rlv) = (rl_ref.key.clone(), rl_ref.value.clone());
+                ws.discard(h, rl);
+                let new_left = self.join(h, ws, key, value, left, rll);
+                let new_right = self.mk(h, ws, rk, rv, rlr, rr);
+                self.mk(h, ws, rlk, rlv, new_left, new_right)
+            }
+        } else if ls > DELTA * rs {
+            // Left-heavy: rotate right.
+            let l_ref = unsafe { left.deref() };
+            let ll = h.protect(I_TRAV, &l_ref.left);
+            let lr = h.protect(I_TRAV, &l_ref.right);
+            let (lk, lv) = (l_ref.key.clone(), l_ref.value.clone());
+            ws.discard(h, left);
+            if Self::size(lr) < RATIO * Self::size(ll) {
+                let new_right = self.join(h, ws, key, value, lr, right);
+                self.mk(h, ws, lk, lv, ll, new_right)
+            } else {
+                let lr_ref = unsafe { lr.deref() };
+                let lrl = h.protect(I_TRAV, &lr_ref.left);
+                let lrr = h.protect(I_TRAV, &lr_ref.right);
+                let (lrk, lrv) = (lr_ref.key.clone(), lr_ref.value.clone());
+                ws.discard(h, lr);
+                let new_left = self.mk(h, ws, lk, lv, ll, lrl);
+                let new_right = self.join(h, ws, key, value, lrr, right);
+                self.mk(h, ws, lrk, lrv, new_left, new_right)
+            }
+        } else {
+            self.mk(h, ws, key, value, left, right)
+        }
+    }
+
+    /// Rebuilds the path for an insert; `None` if the key already exists.
+    fn do_insert<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: &mut WriteSet<K, V>,
+        node: Shared<BonsaiNode<K, V>>,
+        key: &K,
+        value: &V,
+    ) -> Option<Shared<BonsaiNode<K, V>>> {
+        if node.is_null() {
+            return Some(self.mk(h, ws, key.clone(), value.clone(), Shared::null(), Shared::null()));
+        }
+        let n = unsafe { node.deref() };
+        if *key == n.key {
+            return None;
+        }
+        let left = h.protect(I_TRAV, &n.left);
+        let right = h.protect(I_TRAV, &n.right);
+        let (nk, nv) = (n.key.clone(), n.value.clone());
+        let joined = if *key < n.key {
+            let new_left = self.do_insert(h, ws, left, key, value)?;
+            ws.discard(h, node);
+            self.join(h, ws, nk, nv, new_left, right)
+        } else {
+            let new_right = self.do_insert(h, ws, right, key, value)?;
+            ws.discard(h, node);
+            self.join(h, ws, nk, nv, left, new_right)
+        };
+        Some(joined)
+    }
+
+    /// Pops the minimum of a non-null snapshot subtree.
+    fn remove_min<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: &mut WriteSet<K, V>,
+        node: Shared<BonsaiNode<K, V>>,
+    ) -> (K, V, Shared<BonsaiNode<K, V>>) {
+        let n = unsafe { node.deref() };
+        let left = h.protect(I_TRAV, &n.left);
+        let right = h.protect(I_TRAV, &n.right);
+        if left.is_null() {
+            ws.discard(h, node);
+            return (n.key.clone(), n.value.clone(), right);
+        }
+        let (nk, nv) = (n.key.clone(), n.value.clone());
+        let (mk, mv, new_left) = self.remove_min(h, ws, left);
+        ws.discard(h, node);
+        (mk, mv, self.join(h, ws, nk, nv, new_left, right))
+    }
+
+    /// Rebuilds the path for a remove; `None` if the key is absent.
+    fn do_remove<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: &mut WriteSet<K, V>,
+        node: Shared<BonsaiNode<K, V>>,
+        key: &K,
+    ) -> Option<(Shared<BonsaiNode<K, V>>, V)> {
+        if node.is_null() {
+            return None;
+        }
+        let n = unsafe { node.deref() };
+        let left = h.protect(I_TRAV, &n.left);
+        let right = h.protect(I_TRAV, &n.right);
+        if *key == n.key {
+            let value = n.value.clone();
+            ws.discard(h, node);
+            let merged = if left.is_null() {
+                right
+            } else if right.is_null() {
+                left
+            } else {
+                let (mk, mv, new_right) = self.remove_min(h, ws, right);
+                self.join(h, ws, mk, mv, left, new_right)
+            };
+            return Some((merged, value));
+        }
+        let (nk, nv) = (n.key.clone(), n.value.clone());
+        let joined = if *key < n.key {
+            let (new_left, value) = self.do_remove(h, ws, left, key)?;
+            ws.discard(h, node);
+            (self.join(h, ws, nk, nv, new_left, right), value)
+        } else {
+            let (new_right, value) = self.do_remove(h, ws, right, key)?;
+            ws.discard(h, node);
+            (self.join(h, ws, nk, nv, left, new_right), value)
+        };
+        Some(joined)
+    }
+
+    /// Looks up `key` in the current snapshot. Must be called between
+    /// `enter` and `leave`.
+    pub fn get<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        let mut node = h.protect(I_ROOT, &self.root);
+        while !node.is_null() {
+            let n = unsafe { node.deref() };
+            node = if *key < n.key {
+                h.protect(I_TRAV, &n.left)
+            } else if *key > n.key {
+                h.protect(I_TRAV, &n.right)
+            } else {
+                return Some(n.value.clone());
+            };
+        }
+        None
+    }
+
+    /// Whether `key` is present. Must be called between `enter` and `leave`.
+    pub fn contains<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> bool {
+        self.get(h, key).is_some()
+    }
+
+    /// Inserts `key -> value`; `false` if present. Must be called between
+    /// `enter` and `leave`.
+    pub fn insert<'a>(&'a self, h: &mut S::Handle<'a>, key: K, value: V) -> bool {
+        loop {
+            let root = h.protect(I_ROOT, &self.root);
+            let mut ws = WriteSet::new();
+            let Some(new_root) = self.do_insert(h, &mut ws, root, &key, &value) else {
+                debug_assert!(ws.fresh.is_empty());
+                return false;
+            };
+            if self.publish(h, ws, root, new_root) {
+                return true;
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value. Must be called between `enter`
+    /// and `leave`.
+    pub fn remove<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        loop {
+            let root = h.protect(I_ROOT, &self.root);
+            let mut ws = WriteSet::new();
+            let Some((new_root, value)) = self.do_remove(h, &mut ws, root, key) else {
+                debug_assert!(ws.fresh.is_empty());
+                return None;
+            };
+            if self.publish(h, ws, root, new_root) {
+                return Some(value);
+            }
+        }
+    }
+
+    /// Installs a new version; on failure rolls the write set back.
+    fn publish<'a>(
+        &'a self,
+        h: &mut S::Handle<'a>,
+        ws: WriteSet<K, V>,
+        old_root: Shared<BonsaiNode<K, V>>,
+        new_root: Shared<BonsaiNode<K, V>>,
+    ) -> bool {
+        if self
+            .root
+            .compare_exchange(old_root, new_root, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            for node in ws.replaced {
+                unsafe { h.retire(node) };
+            }
+            true
+        } else {
+            for node in ws.fresh {
+                unsafe { h.dealloc(node) };
+            }
+            false
+        }
+    }
+
+    /// Number of keys in the current snapshot.
+    pub fn len<'a>(&'a self, h: &mut S::Handle<'a>) -> usize {
+        Self::size(h.protect(I_ROOT, &self.root))
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty<'a>(&'a self, h: &mut S::Handle<'a>) -> bool {
+        self.len(h) == 0
+    }
+}
+
+impl<K, V, S> Drop for BonsaiTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<BonsaiNode<K, V>>,
+{
+    fn drop(&mut self) {
+        let mut handle = self.domain.handle();
+        let mut stack = vec![self.root.load(Ordering::Acquire)];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            let n = unsafe { node.deref() };
+            stack.push(n.left.load(Ordering::Acquire));
+            stack.push(n.right.load(Ordering::Acquire));
+            unsafe { handle.dealloc(node) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+    use smr_baselines::{Ebr, Ibr, Leaky};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            era_freq: 8,
+            scan_threshold: 16,
+            max_threads: 64,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn smoke<S: Smr<BonsaiNode<u64, u64>>>() {
+        let tree: BonsaiTree<u64, u64, S> = BonsaiTree::with_config(cfg());
+        let mut h = tree.smr_handle();
+        h.enter();
+        for i in 0..100 {
+            assert!(tree.insert(&mut h, i, i * 3));
+        }
+        assert!(!tree.insert(&mut h, 50, 0));
+        assert_eq!(tree.len(&mut h), 100);
+        for i in 0..100 {
+            assert_eq!(tree.get(&mut h, &i), Some(i * 3));
+        }
+        for i in (0..100).step_by(2) {
+            assert_eq!(tree.remove(&mut h, &i), Some(i * 3));
+        }
+        assert_eq!(tree.len(&mut h), 50);
+        for i in 0..100 {
+            assert_eq!(tree.get(&mut h, &i).is_some(), i % 2 == 1);
+        }
+        h.leave();
+    }
+
+    #[test]
+    fn smoke_supported_schemes() {
+        smoke::<Hyaline<_>>();
+        smoke::<Hyaline1<_>>();
+        smoke::<HyalineS<_>>();
+        smoke::<Hyaline1S<_>>();
+        smoke::<Ebr<_>>();
+        smoke::<Ibr<_>>();
+        smoke::<Leaky<_>>();
+    }
+
+    /// The weight-balance invariant, checked recursively on a quiesced tree.
+    fn check_balance(node: Shared<BonsaiNode<u64, u64>>) -> usize {
+        if node.is_null() {
+            return 0;
+        }
+        let n = unsafe { node.deref() };
+        let ls = check_balance(n.left.load(Ordering::Acquire));
+        let rs = check_balance(n.right.load(Ordering::Acquire));
+        assert_eq!(n.size, 1 + ls + rs, "size field corrupt");
+        if ls + rs > 1 {
+            assert!(ls <= DELTA * rs, "left-heavy violation: {ls} vs {rs}");
+            assert!(rs <= DELTA * ls, "right-heavy violation: {ls} vs {rs}");
+        }
+        n.size
+    }
+
+    #[test]
+    fn stays_weight_balanced() {
+        let tree: BonsaiTree<u64, u64, Ebr<_>> = BonsaiTree::with_config(cfg());
+        let mut h = tree.smr_handle();
+        h.enter();
+        // Sorted insertion is the classic worst case for unbalanced trees.
+        for i in 0..1_000 {
+            tree.insert(&mut h, i, i);
+        }
+        check_balance(tree.root.load(Ordering::Acquire));
+        for i in 0..500 {
+            tree.remove(&mut h, &(i * 2));
+        }
+        check_balance(tree.root.load(Ordering::Acquire));
+        h.leave();
+    }
+
+    fn concurrent_churn<S: Smr<BonsaiNode<u64, u64>>>() {
+        let tree: &BonsaiTree<u64, u64, S> = &BonsaiTree::with_config(cfg());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let mut h = tree.smr_handle();
+                    let mut x = (t + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    for _ in 0..1_500 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % 128;
+                        h.enter();
+                        match x % 3 {
+                            0 => {
+                                tree.insert(&mut h, key, key * 11);
+                            }
+                            1 => {
+                                tree.remove(&mut h, &key);
+                            }
+                            _ => {
+                                if let Some(v) = tree.get(&mut h, &key) {
+                                    assert_eq!(v, key * 11);
+                                }
+                            }
+                        }
+                        h.leave();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn churn_hyaline() {
+        concurrent_churn::<Hyaline<_>>();
+    }
+
+    #[test]
+    fn churn_hyaline_s() {
+        concurrent_churn::<HyalineS<_>>();
+    }
+
+    #[test]
+    fn churn_ebr() {
+        concurrent_churn::<Ebr<_>>();
+    }
+
+    #[test]
+    fn churn_ibr() {
+        concurrent_churn::<Ibr<_>>();
+    }
+
+    #[test]
+    fn writes_retire_whole_paths() {
+        // The defining property: one update retires O(log n) nodes.
+        let tree: BonsaiTree<u64, u64, Ebr<_>> = BonsaiTree::with_config(SmrConfig {
+            scan_threshold: 1 << 30, // never scan: count retires precisely
+            ..cfg()
+        });
+        let mut h = tree.smr_handle();
+        h.enter();
+        for i in 0..1_024 {
+            tree.insert(&mut h, i, i);
+        }
+        let before = tree.domain().stats().retired();
+        tree.insert(&mut h, 5_000, 1);
+        h.flush();
+        let after = tree.domain().stats().retired();
+        assert!(
+            after - before >= 5,
+            "an insert into a 1k tree should retire a path, got {}",
+            after - before
+        );
+        h.leave();
+    }
+}

@@ -1,0 +1,251 @@
+//! Michael's lock-free hash map [26]: a fixed array of Harris–Michael
+//! sorted-list buckets (the paper's Figure 8c/9c benchmark structure).
+
+use smr_core::{Atomic, Smr, SmrConfig};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+use crate::list::{self, ListNode};
+
+/// Default number of buckets. The paper's workload spreads 100 000 keys; a
+/// load factor near one keeps bucket traversals short, matching [35].
+pub const DEFAULT_BUCKETS: usize = 1 << 16;
+
+/// A deterministic hasher (fixed seed) so benchmark runs are reproducible.
+type MapHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+
+/// Michael's lock-free hash map, generic over the reclamation scheme.
+///
+/// # Example
+///
+/// ```
+/// use hyaline::HyalineS;
+/// use lockfree_ds::MichaelHashMap;
+/// use smr_core::SmrHandle;
+///
+/// let map: MichaelHashMap<u64, String, HyalineS<_>> = MichaelHashMap::new();
+/// let mut h = map.smr_handle();
+/// h.enter();
+/// assert!(map.insert(&mut h, 7, "seven".into()));
+/// assert_eq!(map.get(&mut h, &7).as_deref(), Some("seven"));
+/// assert!(map.remove(&mut h, &7).is_some());
+/// h.leave();
+/// ```
+pub struct MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    domain: S,
+    buckets: Box<[Atomic<ListNode<K, V>>]>,
+    hasher: MapHasher,
+}
+
+impl<K, V, S> std::fmt::Debug for MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MichaelHashMap")
+            .field("scheme", &S::name())
+            .field("buckets", &self.buckets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, S> Default for MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    /// An empty map with [`DEFAULT_BUCKETS`] buckets and a default domain.
+    pub fn new() -> Self {
+        Self::with_config_and_buckets(SmrConfig::default(), DEFAULT_BUCKETS)
+    }
+
+    /// An empty map with a configured domain and [`DEFAULT_BUCKETS`].
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self::with_config_and_buckets(config, DEFAULT_BUCKETS)
+    }
+
+    /// An empty map with `buckets` buckets (rounded up to a power of two).
+    pub fn with_config_and_buckets(config: SmrConfig, buckets: usize) -> Self {
+        let buckets = buckets.next_power_of_two();
+        Self {
+            domain: S::with_config(config),
+            buckets: (0..buckets).map(|_| Atomic::null()).collect(),
+            hasher: MapHasher::default(),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &Atomic<ListNode<K, V>> {
+        
+        
+        let h = self.hasher.hash_one(key) as usize;
+        &self.buckets[h & (self.buckets.len() - 1)]
+    }
+
+    /// The underlying reclamation domain (statistics, etc.).
+    pub fn domain(&self) -> &S {
+        &self.domain
+    }
+
+    /// A per-thread SMR handle for operating on this map.
+    pub fn smr_handle(&self) -> S::Handle<'_> {
+        self.domain.handle()
+    }
+
+    /// Looks up `key`. Must be called between `enter` and `leave`.
+    pub fn get<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        unsafe { list::get(handle, self.bucket(key), key) }
+    }
+
+    /// Whether `key` is present. Must be called between `enter` and `leave`.
+    pub fn contains<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> bool {
+        self.get(handle, key).is_some()
+    }
+
+    /// Inserts `key -> value`; `false` if present. Must be called between
+    /// `enter` and `leave`.
+    pub fn insert<'a>(&'a self, handle: &mut S::Handle<'a>, key: K, value: V) -> bool {
+        let bucket = self.bucket(&key);
+        unsafe { list::insert(handle, bucket, key, value) }
+    }
+
+    /// Removes `key`, returning its value. Must be called between `enter`
+    /// and `leave`.
+    pub fn remove<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        unsafe { list::remove(handle, self.bucket(key), key) }
+    }
+}
+
+impl<K, V, S> Drop for MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn drop(&mut self) {
+        let mut handle = self.domain.handle();
+        for bucket in self.buckets.iter() {
+            unsafe { list::drop_all(&mut handle, bucket) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::{Hyaline, HyalineS};
+    use smr_baselines::{Ebr, Hp, Ibr};
+    use smr_core::SmrHandle;
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            era_freq: 8,
+            scan_threshold: 16,
+            max_threads: 64,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn map<S: Smr<ListNode<u64, u64>>>() -> MichaelHashMap<u64, u64, S> {
+        MichaelHashMap::with_config_and_buckets(cfg(), 64)
+    }
+
+    fn smoke<S: Smr<ListNode<u64, u64>>>() {
+        let m = map::<S>();
+        let mut h = m.smr_handle();
+        h.enter();
+        for i in 0..200 {
+            assert!(m.insert(&mut h, i, i * 2));
+        }
+        for i in 0..200 {
+            assert_eq!(m.get(&mut h, &i), Some(i * 2));
+        }
+        for i in (0..200).step_by(2) {
+            assert_eq!(m.remove(&mut h, &i), Some(i * 2));
+        }
+        for i in 0..200 {
+            assert_eq!(m.get(&mut h, &i).is_some(), i % 2 == 1);
+        }
+        h.leave();
+    }
+
+    #[test]
+    fn smoke_several_schemes() {
+        smoke::<Hyaline<_>>();
+        smoke::<HyalineS<_>>();
+        smoke::<Ebr<_>>();
+        smoke::<Hp<_>>();
+        smoke::<Ibr<_>>();
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let m: &MichaelHashMap<u64, u64, Hyaline<_>> = &map();
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                s.spawn(move || {
+                    let mut h = m.smr_handle();
+                    let mut x = (t + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    for _ in 0..3_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % 256;
+                        h.enter();
+                        match x % 4 {
+                            0 => {
+                                m.insert(&mut h, key, key * 2);
+                            }
+                            1 => {
+                                m.remove(&mut h, &key);
+                            }
+                            _ => {
+                                if let Some(v) = m.get(&mut h, &key) {
+                                    assert_eq!(v, key * 2);
+                                }
+                            }
+                        }
+                        h.leave();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let m: MichaelHashMap<u64, u64, Ebr<_>> =
+            MichaelHashMap::with_config_and_buckets(cfg(), 100);
+        assert_eq!(m.buckets.len(), 128);
+    }
+
+    #[test]
+    fn string_values() {
+        let m: MichaelHashMap<u64, String, Hyaline<_>> =
+            MichaelHashMap::with_config_and_buckets(cfg(), 16);
+        let mut h = m.smr_handle();
+        h.enter();
+        assert!(m.insert(&mut h, 1, "one".into()));
+        assert_eq!(m.get(&mut h, &1).as_deref(), Some("one"));
+        h.leave();
+    }
+}

@@ -1,0 +1,545 @@
+//! The Harris–Michael sorted linked list.
+//!
+//! Harris's lock-free list [20] with Michael's hazard-pointer-compatible
+//! amendment [26]: traversals never walk *past* a logically deleted
+//! (marked) node — they unlink it first (retiring it timely) or restart.
+//! This is the variant every scheme can run, robust ones included; the
+//! Hyaline paper's §2.4 notes that robust schemes *require* this
+//! modification while basic Hyaline could also run Harris's original.
+//!
+//! The traversal core is shared with [`MichaelHashMap`](crate::MichaelHashMap),
+//! which is an array of these lists [26].
+
+use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::Ordering;
+
+/// Mark bit on a node's `next` pointer: the node is logically deleted.
+const MARK: usize = 1;
+
+/// Protection indices used during traversal (rotated as the window slides).
+const IDX_A: usize = 0;
+const IDX_B: usize = 1;
+const IDX_C: usize = 2;
+
+/// A node of the sorted list: key, value and a markable next link.
+pub struct ListNode<K, V> {
+    key: K,
+    value: V,
+    next: Atomic<ListNode<K, V>>,
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for ListNode<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListNode")
+            .field("key", &self.key)
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V> ListNode<K, V> {
+    /// The node's key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+
+    /// The node's value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+}
+
+/// Result of the `find` traversal: the window `(prev, curr)` where `curr`
+/// is the first node with `key >= target` (or null).
+pub(crate) struct FindResult<K, V> {
+    pub(crate) found: bool,
+    /// Link holding `curr` (either the head or `prev`'s next field). The
+    /// node owning the link is protected by one of the rotation indices.
+    pub(crate) prev_link: *const Atomic<ListNode<K, V>>,
+    pub(crate) curr: Shared<ListNode<K, V>>,
+    /// `curr`'s successor at observation time (unmarked).
+    pub(crate) next: Shared<ListNode<K, V>>,
+}
+
+/// Michael's `find`: positions the window, unlinking (and retiring) marked
+/// nodes on the way.
+///
+/// # Safety
+///
+/// `head` must outlive the call and be a list head whose nodes were
+/// allocated through `handle`'s domain. The caller must be inside an
+/// operation (`enter`).
+pub(crate) unsafe fn find<K, V, H>(
+    handle: &mut H,
+    head: &Atomic<ListNode<K, V>>,
+    key: &K,
+) -> FindResult<K, V>
+where
+    K: Ord,
+    H: SmrHandle<ListNode<K, V>>,
+{
+    'retry: loop {
+        let mut prev_link: *const Atomic<ListNode<K, V>> = head;
+        // Rotating protection indices for (prev-node, curr, next).
+        let mut idx = [IDX_A, IDX_B, IDX_C];
+        let mut curr = handle.protect(idx[1], &*prev_link);
+        loop {
+            if curr.is_null() {
+                return FindResult {
+                    found: false,
+                    prev_link,
+                    curr,
+                    next: Shared::null(),
+                };
+            }
+            debug_assert_eq!(curr.tag(), 0, "links always store untagged pointers");
+            let curr_ref = curr.deref();
+            let next = handle.protect(idx[2], &curr_ref.next);
+            // Validate the window: prev must still link to an unmarked curr
+            // (Michael's re-check; also re-establishes that curr was not
+            // unlinked while we protected next).
+            if (*prev_link).load(Ordering::Acquire) != curr {
+                continue 'retry;
+            }
+            if next.tag() == MARK {
+                // curr is logically deleted: unlink it here and now.
+                let next_clean = next.untagged();
+                if (*prev_link)
+                    .compare_exchange(curr, next_clean, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue 'retry;
+                }
+                handle.retire(curr);
+                // next (protected by idx[2]) becomes curr.
+                idx.swap(1, 2);
+                curr = next_clean;
+            } else {
+                if curr_ref.key >= *key {
+                    return FindResult {
+                        found: curr_ref.key == *key,
+                        prev_link,
+                        curr,
+                        next,
+                    };
+                }
+                // Slide the window: curr becomes prev, next becomes curr.
+                prev_link = &curr_ref.next;
+                idx.rotate_left(1);
+                curr = next;
+            }
+        }
+    }
+}
+
+/// Looks `key` up, cloning its value.
+pub(crate) unsafe fn get<K, V, H>(
+    handle: &mut H,
+    head: &Atomic<ListNode<K, V>>,
+    key: &K,
+) -> Option<V>
+where
+    K: Ord,
+    V: Clone,
+    H: SmrHandle<ListNode<K, V>>,
+{
+    let r = find(handle, head, key);
+    r.found.then(|| r.curr.deref().value.clone())
+}
+
+/// Inserts `key -> value`; fails if the key is present.
+pub(crate) unsafe fn insert<K, V, H>(
+    handle: &mut H,
+    head: &Atomic<ListNode<K, V>>,
+    key: K,
+    value: V,
+) -> bool
+where
+    K: Ord,
+    H: SmrHandle<ListNode<K, V>>,
+{
+    let r = find(handle, head, &key);
+    if r.found {
+        return false;
+    }
+    let node = handle.alloc(ListNode {
+        key,
+        value,
+        next: Atomic::null(),
+    });
+    insert_retry(handle, head, node, r)
+}
+
+/// Continues an insert once the node exists (borrow-friendly split: `key`
+/// now lives inside the node).
+unsafe fn insert_retry<K, V, H>(
+    handle: &mut H,
+    head: &Atomic<ListNode<K, V>>,
+    node: Shared<ListNode<K, V>>,
+    first: FindResult<K, V>,
+) -> bool
+where
+    K: Ord,
+    H: SmrHandle<ListNode<K, V>>,
+{
+    let mut r = first;
+    loop {
+        if r.found {
+            handle.dealloc(node);
+            return false;
+        }
+        if try_link(node, &r) {
+            return true;
+        }
+        r = find(handle, head, &node.deref().key);
+    }
+}
+
+/// Single link attempt of a fresh, exclusively owned node.
+unsafe fn try_link<K, V>(node: Shared<ListNode<K, V>>, r: &FindResult<K, V>) -> bool
+where
+    K: Ord,
+{
+    node.deref().next.store(r.curr, Ordering::Relaxed);
+    (*r.prev_link)
+        .compare_exchange(r.curr, node, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+/// Removes `key`, returning its value.
+pub(crate) unsafe fn remove<K, V, H>(
+    handle: &mut H,
+    head: &Atomic<ListNode<K, V>>,
+    key: &K,
+) -> Option<V>
+where
+    K: Ord,
+    V: Clone,
+    H: SmrHandle<ListNode<K, V>>,
+{
+    loop {
+        let r = find(handle, head, key);
+        if !r.found {
+            return None;
+        }
+        let curr_ref = r.curr.deref();
+        // Logically delete: mark curr's next. Only one remover wins.
+        if curr_ref
+            .next
+            .compare_exchange(
+                r.next,
+                r.next.with_tag(MARK),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            // Either a racing remover marked it, or next changed: retry.
+            continue;
+        }
+        let value = curr_ref.value.clone();
+        // Physical unlink; on failure some find() will do it (and retire).
+        if (*r.prev_link)
+            .compare_exchange(r.curr, r.next, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            handle.retire(r.curr);
+        } else {
+            let _ = find(handle, head, key);
+        }
+        return Some(value);
+    }
+}
+
+/// Frees all nodes of a list given exclusive access (for `Drop`).
+pub(crate) unsafe fn drop_all<K, V, H>(handle: &mut H, head: &Atomic<ListNode<K, V>>)
+where
+    H: SmrHandle<ListNode<K, V>>,
+{
+    let mut curr = head.load(Ordering::Acquire);
+    head.store(Shared::null(), Ordering::Relaxed);
+    while !curr.is_null() {
+        let next = curr.deref().next.load(Ordering::Acquire);
+        handle.dealloc(curr.untagged());
+        curr = next.untagged();
+    }
+}
+
+/// The Harris–Michael sorted linked list, generic over the reclamation
+/// scheme (the paper's Figure 8a/9a benchmark structure).
+///
+/// # Example
+///
+/// ```
+/// use hyaline::Hyaline;
+/// use lockfree_ds::HarrisMichaelList;
+/// use smr_core::SmrHandle;
+///
+/// let list: HarrisMichaelList<u64, u64, Hyaline<_>> = HarrisMichaelList::new();
+/// let mut h = list.smr_handle();
+/// h.enter();
+/// assert!(list.insert(&mut h, 1, 10));
+/// assert_eq!(list.get(&mut h, &1), Some(10));
+/// assert_eq!(list.remove(&mut h, &1), Some(10));
+/// h.leave();
+/// ```
+pub struct HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    domain: S,
+    head: Atomic<ListNode<K, V>>,
+}
+
+impl<K, V, S> std::fmt::Debug for HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarrisMichaelList")
+            .field("scheme", &S::name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, S> Default for HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    /// An empty list with a default-configured domain.
+    pub fn new() -> Self {
+        Self::with_config(SmrConfig::default())
+    }
+
+    /// An empty list whose reclamation domain uses `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self {
+            domain: S::with_config(config),
+            head: Atomic::null(),
+        }
+    }
+
+    /// The underlying reclamation domain (statistics, etc.).
+    pub fn domain(&self) -> &S {
+        &self.domain
+    }
+
+    /// A per-thread SMR handle for operating on this list.
+    pub fn smr_handle(&self) -> S::Handle<'_> {
+        self.domain.handle()
+    }
+
+    /// Looks up `key`. Must be called between `enter` and `leave`.
+    pub fn get<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        unsafe { get(handle, &self.head, key) }
+    }
+
+    /// Whether `key` is present. Must be called between `enter` and `leave`.
+    pub fn contains<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> bool {
+        unsafe { find(handle, &self.head, key).found }
+    }
+
+    /// Inserts `key -> value`; `false` if the key already exists. Must be
+    /// called between `enter` and `leave`.
+    pub fn insert<'a>(&'a self, handle: &mut S::Handle<'a>, key: K, value: V) -> bool {
+        unsafe { insert(handle, &self.head, key, value) }
+    }
+
+    /// Removes `key`, returning its value. Must be called between `enter`
+    /// and `leave`.
+    pub fn remove<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        unsafe { remove(handle, &self.head, key) }
+    }
+}
+
+impl<K, V, S> Drop for HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: Smr<ListNode<K, V>>,
+{
+    fn drop(&mut self) {
+        let mut handle = self.domain.handle();
+        unsafe { drop_all(&mut handle, &self.head) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+    use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            era_freq: 8,
+            scan_threshold: 16,
+            max_threads: 64,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn smoke<S: Smr<ListNode<u64, u64>>>() {
+        let list: HarrisMichaelList<u64, u64, S> = HarrisMichaelList::with_config(cfg());
+        let mut h = list.smr_handle();
+        h.enter();
+        assert!(list.insert(&mut h, 2, 20));
+        assert!(list.insert(&mut h, 1, 10));
+        assert!(list.insert(&mut h, 3, 30));
+        assert!(!list.insert(&mut h, 2, 99), "duplicate rejected");
+        assert_eq!(list.get(&mut h, &1), Some(10));
+        assert_eq!(list.get(&mut h, &2), Some(20));
+        assert_eq!(list.get(&mut h, &3), Some(30));
+        assert_eq!(list.get(&mut h, &4), None);
+        assert_eq!(list.remove(&mut h, &2), Some(20));
+        assert_eq!(list.remove(&mut h, &2), None);
+        assert_eq!(list.get(&mut h, &2), None);
+        assert!(list.contains(&mut h, &1));
+        h.leave();
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<Hyaline<_>>();
+        smoke::<Hyaline1<_>>();
+        smoke::<HyalineS<_>>();
+        smoke::<Hyaline1S<_>>();
+        smoke::<Ebr<_>>();
+        smoke::<Hp<_>>();
+        smoke::<He<_>>();
+        smoke::<Ibr<_>>();
+        smoke::<Leaky<_>>();
+        smoke::<Lfrc<_>>();
+    }
+
+    fn concurrent_churn<S: Smr<ListNode<u64, u64>>>() {
+        let list: &HarrisMichaelList<u64, u64, S> = &HarrisMichaelList::with_config(cfg());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let mut h = list.smr_handle();
+                    let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    for _ in 0..2_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % 64;
+                        h.enter();
+                        match x % 3 {
+                            0 => {
+                                list.insert(&mut h, key, key);
+                            }
+                            1 => {
+                                list.remove(&mut h, &key);
+                            }
+                            _ => {
+                                if let Some(v) = list.get(&mut h, &key) {
+                                    assert_eq!(v, key, "value corrupted");
+                                }
+                            }
+                        }
+                        h.leave();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn churn_hyaline() {
+        concurrent_churn::<Hyaline<_>>();
+    }
+
+    #[test]
+    fn churn_hyaline1() {
+        concurrent_churn::<Hyaline1<_>>();
+    }
+
+    #[test]
+    fn churn_hyaline_s() {
+        concurrent_churn::<HyalineS<_>>();
+    }
+
+    #[test]
+    fn churn_hyaline1_s() {
+        concurrent_churn::<Hyaline1S<_>>();
+    }
+
+    #[test]
+    fn churn_ebr() {
+        concurrent_churn::<Ebr<_>>();
+    }
+
+    #[test]
+    fn churn_hp() {
+        concurrent_churn::<Hp<_>>();
+    }
+
+    #[test]
+    fn churn_he() {
+        concurrent_churn::<He<_>>();
+    }
+
+    #[test]
+    fn churn_ibr() {
+        concurrent_churn::<Ibr<_>>();
+    }
+
+    #[test]
+    fn churn_lfrc() {
+        concurrent_churn::<Lfrc<_>>();
+    }
+
+    #[test]
+    fn drop_frees_remaining_nodes() {
+        let list: HarrisMichaelList<u64, u64, Hyaline<_>> =
+            HarrisMichaelList::with_config(cfg());
+        {
+            let mut h = list.smr_handle();
+            h.enter();
+            for i in 0..100 {
+                list.insert(&mut h, i, i);
+            }
+            h.leave();
+        }
+        let stats_alloc = list.domain().stats().allocated();
+        drop(list);
+        // Can't inspect stats after drop; the assertion is that no leak
+        // checker / payload counter fires in the integration suite. Here we
+        // at least exercised the path.
+        assert_eq!(stats_alloc, 100);
+    }
+
+    #[test]
+    fn sorted_order_maintained() {
+        let list: HarrisMichaelList<u64, u64, Ebr<_>> = HarrisMichaelList::with_config(cfg());
+        let mut h = list.smr_handle();
+        h.enter();
+        for &k in &[5u64, 1, 9, 3, 7] {
+            assert!(list.insert(&mut h, k, k * 10));
+        }
+        for &k in &[1u64, 3, 5, 7, 9] {
+            assert_eq!(list.get(&mut h, &k), Some(k * 10));
+        }
+        h.leave();
+    }
+}

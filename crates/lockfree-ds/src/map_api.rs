@@ -1,0 +1,192 @@
+//! A uniform map interface over the benchmark data structures.
+//!
+//! The paper's evaluation runs the same workloads over four different
+//! structures; the harness drives them through this trait with `u64` keys
+//! and values (the framework of [35] likewise benchmarks integer maps).
+
+use smr_core::{Smr, SmrConfig, SmrStats};
+
+use crate::{
+    BonsaiNode, BonsaiTree, HarrisMichaelList, ListNode, MichaelHashMap, NatarajanMittalTree,
+    NmNode,
+};
+
+/// A concurrent map of `u64 -> u64`, generic over the reclamation scheme.
+///
+/// Operations must be bracketed by the handle's `enter`/`leave`, exactly as
+/// in the paper's programming model.
+pub trait ConcurrentMap<S: Smr<Self::Node>>: Send + Sync + Sized {
+    /// The node type managed by the reclamation domain.
+    type Node: Send + 'static;
+
+    /// Structure name as used in the paper's figures.
+    const NAME: &'static str;
+
+    /// Builds the map with the given reclamation configuration.
+    fn with_config(config: SmrConfig) -> Self;
+
+    /// The reclamation domain's statistics.
+    fn stats(&self) -> &SmrStats;
+
+    /// A per-thread handle.
+    fn handle(&self) -> S::Handle<'_>;
+
+    /// Looks up a key.
+    fn map_get<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64>;
+
+    /// Inserts a key; `false` if present.
+    fn map_insert<'a>(&'a self, h: &mut S::Handle<'a>, key: u64, value: u64) -> bool;
+
+    /// Removes a key, returning its value.
+    fn map_remove<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64>;
+}
+
+impl<S: Smr<ListNode<u64, u64>>> ConcurrentMap<S> for HarrisMichaelList<u64, u64, S> {
+    type Node = ListNode<u64, u64>;
+    const NAME: &'static str = "list";
+
+    fn with_config(config: SmrConfig) -> Self {
+        HarrisMichaelList::with_config(config)
+    }
+
+    fn stats(&self) -> &SmrStats {
+        self.domain().stats()
+    }
+
+    fn handle(&self) -> S::Handle<'_> {
+        self.smr_handle()
+    }
+
+    fn map_get<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.get(h, &key)
+    }
+
+    fn map_insert<'a>(&'a self, h: &mut S::Handle<'a>, key: u64, value: u64) -> bool {
+        self.insert(h, key, value)
+    }
+
+    fn map_remove<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.remove(h, &key)
+    }
+}
+
+impl<S: Smr<ListNode<u64, u64>>> ConcurrentMap<S> for MichaelHashMap<u64, u64, S> {
+    type Node = ListNode<u64, u64>;
+    const NAME: &'static str = "hashmap";
+
+    fn with_config(config: SmrConfig) -> Self {
+        MichaelHashMap::with_config(config)
+    }
+
+    fn stats(&self) -> &SmrStats {
+        self.domain().stats()
+    }
+
+    fn handle(&self) -> S::Handle<'_> {
+        self.smr_handle()
+    }
+
+    fn map_get<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.get(h, &key)
+    }
+
+    fn map_insert<'a>(&'a self, h: &mut S::Handle<'a>, key: u64, value: u64) -> bool {
+        self.insert(h, key, value)
+    }
+
+    fn map_remove<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.remove(h, &key)
+    }
+}
+
+impl<S: Smr<NmNode<u64, u64>>> ConcurrentMap<S> for NatarajanMittalTree<u64, u64, S> {
+    type Node = NmNode<u64, u64>;
+    const NAME: &'static str = "nmtree";
+
+    fn with_config(config: SmrConfig) -> Self {
+        NatarajanMittalTree::with_config(config)
+    }
+
+    fn stats(&self) -> &SmrStats {
+        self.domain().stats()
+    }
+
+    fn handle(&self) -> S::Handle<'_> {
+        self.smr_handle()
+    }
+
+    fn map_get<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.get(h, &key)
+    }
+
+    fn map_insert<'a>(&'a self, h: &mut S::Handle<'a>, key: u64, value: u64) -> bool {
+        self.insert(h, key, value)
+    }
+
+    fn map_remove<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.remove(h, &key)
+    }
+}
+
+impl<S: Smr<BonsaiNode<u64, u64>>> ConcurrentMap<S> for BonsaiTree<u64, u64, S> {
+    type Node = BonsaiNode<u64, u64>;
+    const NAME: &'static str = "bonsai";
+
+    fn with_config(config: SmrConfig) -> Self {
+        BonsaiTree::with_config(config)
+    }
+
+    fn stats(&self) -> &SmrStats {
+        self.domain().stats()
+    }
+
+    fn handle(&self) -> S::Handle<'_> {
+        self.smr_handle()
+    }
+
+    fn map_get<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.get(h, &key)
+    }
+
+    fn map_insert<'a>(&'a self, h: &mut S::Handle<'a>, key: u64, value: u64) -> bool {
+        self.insert(h, key, value)
+    }
+
+    fn map_remove<'a>(&'a self, h: &mut S::Handle<'a>, key: u64) -> Option<u64> {
+        self.remove(h, &key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::Hyaline;
+    use smr_core::SmrHandle;
+
+    fn exercise<S, M>()
+    where
+        M: ConcurrentMap<S>,
+        S: Smr<M::Node>,
+    {
+        let map = M::with_config(SmrConfig {
+            slots: 4,
+            max_threads: 16,
+            ..SmrConfig::default()
+        });
+        let mut h = map.handle();
+        h.enter();
+        assert!(map.map_insert(&mut h, 1, 11));
+        assert_eq!(map.map_get(&mut h, 1), Some(11));
+        assert_eq!(map.map_remove(&mut h, 1), Some(11));
+        assert_eq!(map.map_get(&mut h, 1), None);
+        h.leave();
+    }
+
+    #[test]
+    fn all_structures_through_trait() {
+        exercise::<Hyaline<_>, HarrisMichaelList<u64, u64, _>>();
+        exercise::<Hyaline<_>, MichaelHashMap<u64, u64, _>>();
+        exercise::<Hyaline<_>, NatarajanMittalTree<u64, u64, _>>();
+        exercise::<Hyaline<_>, BonsaiTree<u64, u64, _>>();
+    }
+}

@@ -1,0 +1,291 @@
+//! A Michael–Scott queue, generic over the reclamation scheme.
+//!
+//! Not part of the paper's figures; used by the examples (per-client work
+//! queues in the server scenario) and the integration tests.
+
+use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::Ordering;
+
+/// A queue node: the sentinel head carries `None`.
+pub struct QueueNode<T> {
+    value: Option<T>,
+    next: Atomic<QueueNode<T>>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for QueueNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueNode")
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A lock-free FIFO queue.
+///
+/// # Example
+///
+/// ```
+/// use hyaline::Hyaline;
+/// use lockfree_ds::MsQueue;
+/// use smr_core::SmrHandle;
+///
+/// let queue: MsQueue<String, Hyaline<_>> = MsQueue::new();
+/// let mut h = queue.smr_handle();
+/// h.enter();
+/// queue.enqueue(&mut h, "a".to_string());
+/// queue.enqueue(&mut h, "b".to_string());
+/// assert_eq!(queue.dequeue(&mut h).as_deref(), Some("a"));
+/// assert_eq!(queue.dequeue(&mut h).as_deref(), Some("b"));
+/// assert_eq!(queue.dequeue(&mut h), None);
+/// h.leave();
+/// ```
+pub struct MsQueue<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<QueueNode<T>>,
+{
+    domain: S,
+    head: Atomic<QueueNode<T>>,
+    tail: Atomic<QueueNode<T>>,
+}
+
+impl<T, S> std::fmt::Debug for MsQueue<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<QueueNode<T>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsQueue")
+            .field("scheme", &S::name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, S> Default for MsQueue<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<QueueNode<T>>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, S> MsQueue<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<QueueNode<T>>,
+{
+    /// An empty queue with a default-configured domain.
+    pub fn new() -> Self {
+        Self::with_config(SmrConfig::default())
+    }
+
+    /// An empty queue whose reclamation domain uses `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        let domain = S::with_config(config);
+        let mut handle = domain.handle();
+        let sentinel = handle.alloc(QueueNode {
+            value: None,
+            next: Atomic::null(),
+        });
+        drop(handle);
+        Self {
+            domain,
+            head: Atomic::new(sentinel),
+            tail: Atomic::new(sentinel),
+        }
+    }
+
+    /// The underlying reclamation domain.
+    pub fn domain(&self) -> &S {
+        &self.domain
+    }
+
+    /// A per-thread SMR handle for operating on this queue.
+    pub fn smr_handle(&self) -> S::Handle<'_> {
+        self.domain.handle()
+    }
+
+    /// Appends a value. Must be called between `enter` and `leave`.
+    pub fn enqueue<'a>(&'a self, h: &mut S::Handle<'a>, value: T) {
+        let node = h.alloc(QueueNode {
+            value: Some(value),
+            next: Atomic::null(),
+        });
+        loop {
+            let tail = h.protect(0, &self.tail);
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                // Help the lagging tail along.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            if tail_ref
+                .next
+                .compare_exchange(Shared::null(), node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Removes the oldest value. Must be called between `enter` and `leave`.
+    pub fn dequeue<'a>(&'a self, h: &mut S::Handle<'a>) -> Option<T> {
+        loop {
+            let head = h.protect(0, &self.head);
+            let head_ref = unsafe { head.deref() };
+            let next = h.protect(1, &head_ref.next);
+            if next.is_null() {
+                return None;
+            }
+            let tail = self.tail.load(Ordering::Acquire);
+            if head == tail {
+                // Tail lags behind: help.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            // Michael's re-validation (step D07 of the original algorithm):
+            // `head` must still be the sentinel *after* `next`'s protection
+            // was published. A dequeued sentinel's `next` is frozen, so the
+            // protection of `next` alone cannot detect that `next` itself
+            // was already dequeued and retired — dereferencing it below
+            // would be a use after free under HP/HE.
+            if self.head.load(Ordering::Acquire) != head {
+                continue;
+            }
+            // Read the value before the CAS: `next` becomes the new
+            // sentinel and may be popped (and retired) immediately after.
+            let value = unsafe { next.deref() }
+                .value
+                .clone()
+                .expect("non-sentinel nodes carry values");
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                unsafe { h.retire(head) };
+                return Some(value);
+            }
+        }
+    }
+
+    /// Whether the queue appears empty right now.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        unsafe { head.deref() }.next.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T, S> Drop for MsQueue<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<QueueNode<T>>,
+{
+    fn drop(&mut self) {
+        let mut handle = self.domain.handle();
+        let mut curr = self.head.load(Ordering::Acquire);
+        while !curr.is_null() {
+            let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
+            unsafe { handle.dealloc(curr) };
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::{Hyaline, Hyaline1S};
+    use smr_baselines::{Ebr, Hp};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            scan_threshold: 16,
+            max_threads: 64,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn fifo_order<S: Smr<QueueNode<u64>>>() {
+        let q: MsQueue<u64, S> = MsQueue::with_config(cfg());
+        let mut h = q.smr_handle();
+        h.enter();
+        assert_eq!(q.dequeue(&mut h), None);
+        for i in 0..10 {
+            q.enqueue(&mut h, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(&mut h), Some(i));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+        h.leave();
+    }
+
+    #[test]
+    fn fifo_all_schemes() {
+        fifo_order::<Hyaline<_>>();
+        fifo_order::<Hyaline1S<_>>();
+        fifo_order::<Ebr<_>>();
+        fifo_order::<Hp<_>>();
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q: &MsQueue<u64, Hyaline<_>> = &MsQueue::with_config(cfg());
+        const PER_THREAD: u64 = 3_000;
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                s.spawn(move || {
+                    let mut h = q.smr_handle();
+                    for i in 0..PER_THREAD {
+                        h.enter();
+                        q.enqueue(&mut h, t * PER_THREAD + i);
+                        h.leave();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut h = q.smr_handle();
+                    let mut local = 0u64;
+                    let mut got = 0;
+                    while got < PER_THREAD {
+                        h.enter();
+                        if let Some(v) = q.dequeue(&mut h) {
+                            local += v;
+                            got += 1;
+                        }
+                        h.leave();
+                    }
+                    sum.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let expect: u64 = (0..2 * PER_THREAD).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+        assert!(q.is_empty());
+    }
+}

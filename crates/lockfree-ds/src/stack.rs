@@ -1,0 +1,238 @@
+//! A Treiber stack, generic over the reclamation scheme.
+//!
+//! Not part of the paper's figures; used by the examples, integration tests
+//! and micro-benchmarks as the smallest realistic SMR client.
+
+use smr_core::{Atomic, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::Ordering;
+
+/// A stack node.
+pub struct StackNode<T> {
+    value: T,
+    next: Atomic<StackNode<T>>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for StackNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackNode")
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A lock-free LIFO stack.
+///
+/// # Example
+///
+/// ```
+/// use hyaline::Hyaline;
+/// use lockfree_ds::TreiberStack;
+/// use smr_core::SmrHandle;
+///
+/// let stack: TreiberStack<u64, Hyaline<_>> = TreiberStack::new();
+/// let mut h = stack.smr_handle();
+/// h.enter();
+/// stack.push(&mut h, 1);
+/// stack.push(&mut h, 2);
+/// assert_eq!(stack.pop(&mut h), Some(2));
+/// assert_eq!(stack.pop(&mut h), Some(1));
+/// assert_eq!(stack.pop(&mut h), None);
+/// h.leave();
+/// ```
+pub struct TreiberStack<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<StackNode<T>>,
+{
+    domain: S,
+    top: Atomic<StackNode<T>>,
+}
+
+impl<T, S> std::fmt::Debug for TreiberStack<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<StackNode<T>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("scheme", &S::name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, S> Default for TreiberStack<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<StackNode<T>>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, S> TreiberStack<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<StackNode<T>>,
+{
+    /// An empty stack with a default-configured domain.
+    pub fn new() -> Self {
+        Self::with_config(SmrConfig::default())
+    }
+
+    /// An empty stack whose reclamation domain uses `config`.
+    pub fn with_config(config: SmrConfig) -> Self {
+        Self {
+            domain: S::with_config(config),
+            top: Atomic::null(),
+        }
+    }
+
+    /// The underlying reclamation domain.
+    pub fn domain(&self) -> &S {
+        &self.domain
+    }
+
+    /// A per-thread SMR handle for operating on this stack.
+    pub fn smr_handle(&self) -> S::Handle<'_> {
+        self.domain.handle()
+    }
+
+    /// Pushes a value. Must be called between `enter` and `leave`.
+    pub fn push<'a>(&'a self, h: &mut S::Handle<'a>, value: T) {
+        let node = h.alloc(StackNode {
+            value,
+            next: Atomic::null(),
+        });
+        let node_ref = unsafe { node.deref() };
+        let mut top = self.top.load(Ordering::Acquire);
+        loop {
+            node_ref.next.store(top, Ordering::Relaxed);
+            match self
+                .top
+                .compare_exchange_weak(top, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(now) => top = now,
+            }
+        }
+    }
+
+    /// Pops the most recent value. Must be called between `enter` and
+    /// `leave`.
+    pub fn pop<'a>(&'a self, h: &mut S::Handle<'a>) -> Option<T> {
+        loop {
+            let top = h.protect(0, &self.top);
+            if top.is_null() {
+                return None;
+            }
+            let top_ref = unsafe { top.deref() };
+            let next = top_ref.next.load(Ordering::Acquire);
+            if self
+                .top
+                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let value = top_ref.value.clone();
+                unsafe { h.retire(top) };
+                return Some(value);
+            }
+        }
+    }
+
+    /// Whether the stack is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.top.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T, S> Drop for TreiberStack<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: Smr<StackNode<T>>,
+{
+    fn drop(&mut self) {
+        let mut handle = self.domain.handle();
+        let mut curr = self.top.load(Ordering::Acquire);
+        while !curr.is_null() {
+            let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
+            unsafe { handle.dealloc(curr) };
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyaline::{Hyaline, HyalineS};
+    use smr_baselines::{Ebr, Hp, Lfrc};
+
+    fn cfg() -> SmrConfig {
+        SmrConfig {
+            slots: 4,
+            batch_min: 8,
+            scan_threshold: 16,
+            max_threads: 64,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn lifo_order<S: Smr<StackNode<u64>>>() {
+        let stack: TreiberStack<u64, S> = TreiberStack::with_config(cfg());
+        let mut h = stack.smr_handle();
+        h.enter();
+        for i in 0..10 {
+            stack.push(&mut h, i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(stack.pop(&mut h), Some(i));
+        }
+        assert_eq!(stack.pop(&mut h), None);
+        h.leave();
+    }
+
+    #[test]
+    fn lifo_all_schemes() {
+        lifo_order::<Hyaline<_>>();
+        lifo_order::<HyalineS<_>>();
+        lifo_order::<Ebr<_>>();
+        lifo_order::<Hp<_>>();
+        lifo_order::<Lfrc<_>>();
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        let stack: &TreiberStack<u64, Hyaline<_>> = &TreiberStack::with_config(cfg());
+        let popped = std::sync::atomic::AtomicU64::new(0);
+        const PER_THREAD: u64 = 2_000;
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                s.spawn(move || {
+                    let mut h = stack.smr_handle();
+                    for i in 0..PER_THREAD {
+                        h.enter();
+                        stack.push(&mut h, t * PER_THREAD + i);
+                        h.leave();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut h = stack.smr_handle();
+                    let mut got = 0;
+                    while got < PER_THREAD {
+                        h.enter();
+                        if stack.pop(&mut h).is_some() {
+                            got += 1;
+                        }
+                        h.leave();
+                    }
+                    popped.fetch_add(got, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 2 * PER_THREAD);
+        assert!(stack.is_empty());
+    }
+}

@@ -1,0 +1,431 @@
+//! Lock-free reference counting (LFRC) [27, 34].
+//!
+//! The paper's Table 1 lists LFRC as the classical `O(1)`-reclamation,
+//! fully robust scheme that is "very slow (especially reading)": every
+//! guarded pointer read performs an atomic increment on the target node
+//! plus a validating re-read (and usually a matching decrement soon after).
+//! This implementation exists to reproduce that row as a measured ablation.
+//!
+//! Following Valois-style designs, node memory is *type-stable*: nodes whose
+//! count reaches zero go onto a free list and are reused by later
+//! allocations, never returned to the allocator until the domain drops.
+//! That is what makes the transient increment a stale reader may apply to a
+//! "freed" node harmless — the memory is still a node. A retired-flag bit
+//! in the count word ensures exactly one thread moves a node to the free
+//! list (the correction of [27]).
+
+use smr_core::{Atomic, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Header word: reference count plus the retired flag.
+const W_COUNT: usize = 0;
+/// Header word: free-list next.
+const W_FREE: usize = 1;
+
+/// Retired flag: the node has been unlinked and its count may reach zero.
+const RETIRED: usize = 1 << 63;
+
+/// Tagged free-list top: 16-bit ABA tag in the high bits, 48-bit pointer.
+const FREE_PTR_MASK: u64 = (1 << 48) - 1;
+
+/// The lock-free reference-counting domain.
+///
+/// # Example
+///
+/// ```
+/// use smr_baselines::Lfrc;
+/// use smr_core::{Atomic, Smr, SmrHandle};
+///
+/// let domain: Lfrc<u64> = Lfrc::new();
+/// let mut h = domain.handle();
+/// h.enter();
+/// let node = h.alloc(4);
+/// let link = Atomic::new(node);
+/// let seen = h.protect(0, &link); // pays an atomic RMW on the node
+/// assert_eq!(seen, node);
+/// h.leave();
+/// unsafe { h.dealloc(node) };
+/// ```
+pub struct Lfrc<T: Send + 'static> {
+    free_top: AtomicU64,
+    max_protect: usize,
+    stats: SmrStats,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Lfrc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lfrc").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Lfrc<T> {
+    fn push_free(&self, node: *mut SmrNode<T>) {
+        let mut old = self.free_top.load(Ordering::Acquire);
+        loop {
+            unsafe {
+                (*node)
+                    .header()
+                    .word(W_FREE)
+                    .store((old & FREE_PTR_MASK) as usize, Ordering::Relaxed);
+            }
+            let tag = (old >> 48).wrapping_add(1);
+            let new = (tag << 48) | node as u64;
+            match self
+                .free_top
+                .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(now) => old = now,
+            }
+        }
+    }
+
+    fn pop_free(&self) -> Option<*mut SmrNode<T>> {
+        let mut old = self.free_top.load(Ordering::Acquire);
+        loop {
+            let node = (old & FREE_PTR_MASK) as *mut SmrNode<T>;
+            if node.is_null() {
+                return None;
+            }
+            // Type-stable memory: reading the free-next of a node another
+            // thread may be re-allocating is safe; the tag CAS rejects it.
+            let next = unsafe { (*node).header().word(W_FREE).load(Ordering::Acquire) } as u64;
+            let tag = (old >> 48).wrapping_add(1);
+            let new = (tag << 48) | next;
+            match self
+                .free_top
+                .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(node),
+                Err(now) => old = now,
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Smr<T> for Lfrc<T> {
+    type Handle<'d> = LfrcHandle<'d, T>;
+
+    fn with_config(config: SmrConfig) -> Self {
+        Self {
+            free_top: AtomicU64::new(0),
+            max_protect: config.max_protect,
+            stats: SmrStats::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn handle(&self) -> LfrcHandle<'_, T> {
+        LfrcHandle {
+            domain: self,
+            held: vec![std::ptr::null_mut(); self.max_protect],
+            local_stats: LocalStats::new(),
+        }
+    }
+
+    fn stats(&self) -> &SmrStats {
+        &self.stats
+    }
+
+    fn name() -> &'static str {
+        "LFRC"
+    }
+
+    fn robust() -> bool {
+        true
+    }
+
+    fn needs_seek_validation() -> bool {
+        // This LFRC counts *active references* only, not inter-node links
+        // (link counting is what makes classical LFRC "intrusive", Table 1).
+        // A count taken through the frozen edge of an unlinked node can
+        // therefore land on a type-stable node that was already recycled —
+        // memory-safe, but semantically a different node. Validated seeks
+        // guarantee the count was taken while the node was still reachable.
+        true
+    }
+}
+
+impl<T: Send + 'static> Drop for Lfrc<T> {
+    fn drop(&mut self) {
+        // All handles are gone; every node has ended up on the free list
+        // (payloads already dropped). Release the type-stable memory.
+        while let Some(node) = self.pop_free() {
+            unsafe { SmrNode::dealloc(node, false) };
+        }
+    }
+}
+
+/// Per-thread handle to an [`Lfrc`] domain.
+pub struct LfrcHandle<'d, T: Send + 'static> {
+    domain: &'d Lfrc<T>,
+    /// Nodes currently pinned by `protect`, by protection index.
+    held: Vec<*mut SmrNode<T>>,
+    local_stats: LocalStats,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for LfrcHandle<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LfrcHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> LfrcHandle<'_, T> {
+    /// Drops one reference; the thread that both sees the retired flag and
+    /// brings the count to zero claims the node for the free list.
+    unsafe fn release_node(&mut self, node: *mut SmrNode<T>) {
+        let count = (*node).header().word(W_COUNT);
+        let old = count.fetch_sub(1, Ordering::AcqRel);
+        if old == RETIRED | 1 {
+            // Count hit zero on a retired node: claim it. A racing stale
+            // increment makes the CAS fail; its matching decrement retries.
+            if count
+                .compare_exchange(RETIRED, 0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                SmrNode::drop_value_in_place(node);
+                self.local_stats.on_free(&self.domain.stats, 1);
+                self.domain.push_free(node);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> SmrHandle<T> for LfrcHandle<'_, T> {
+    fn enter(&mut self) {}
+
+    fn leave(&mut self) {
+        for i in 0..self.held.len() {
+            let node = std::mem::replace(&mut self.held[i], std::ptr::null_mut());
+            if !node.is_null() {
+                unsafe { self.release_node(node) };
+            }
+        }
+    }
+
+    fn alloc(&mut self, value: T) -> Shared<T> {
+        let domain = self.domain;
+        self.local_stats.on_alloc(&domain.stats);
+        let node = match domain.pop_free() {
+            Some(node) => {
+                unsafe {
+                    SmrNode::write_value(node, value);
+                    // Arithmetic, not a store: stale increment/decrement
+                    // pairs from old readers may still be in flight.
+                    (*node).header().word(W_COUNT).fetch_add(1, Ordering::AcqRel);
+                }
+                node
+            }
+            None => {
+                let node = SmrNode::alloc(value).as_ptr();
+                unsafe {
+                    (*node).header().word(W_COUNT).store(1, Ordering::Relaxed);
+                }
+                node
+            }
+        };
+        Shared::from_node(std::ptr::NonNull::new(node).unwrap())
+    }
+
+    unsafe fn dealloc(&mut self, ptr: Shared<T>) {
+        // Never published: no stale references can exist.
+        let node = ptr.as_node_ptr();
+        (*node).header().word(W_COUNT).store(0, Ordering::Relaxed);
+        SmrNode::drop_value_in_place(node);
+        self.local_stats.on_dealloc(&self.domain.stats);
+        self.domain.push_free(node);
+    }
+
+    /// Acquire a counted reference: increment the target's count, then
+    /// validate the source still points at it (releasing on mismatch).
+    /// This double atomic traffic on every read is LFRC's documented cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not below [`SmrConfig::max_protect`].
+    fn protect(&mut self, idx: usize, src: &Atomic<T>) -> Shared<T> {
+        let prev = std::mem::replace(&mut self.held[idx], std::ptr::null_mut());
+        if !prev.is_null() {
+            unsafe { self.release_node(prev) };
+        }
+        loop {
+            let p = src.load(Ordering::Acquire);
+            if p.is_null() {
+                return p;
+            }
+            let node = p.as_node_ptr();
+            unsafe {
+                (*node).header().word(W_COUNT).fetch_add(1, Ordering::AcqRel);
+            }
+            if src.load(Ordering::Acquire) == p {
+                self.held[idx] = node;
+                return p;
+            }
+            unsafe { self.release_node(node) };
+        }
+    }
+
+    fn copy_protection(&mut self, from: usize, to: usize) {
+        let prev = std::mem::replace(&mut self.held[to], std::ptr::null_mut());
+        if !prev.is_null() {
+            unsafe { self.release_node(prev) };
+        }
+        let node = self.held[from];
+        if !node.is_null() {
+            // Already counted through `from`: taking another reference on a
+            // live node is safe.
+            unsafe {
+                (*node).header().word(W_COUNT).fetch_add(1, Ordering::AcqRel);
+            }
+            self.held[to] = node;
+        }
+    }
+
+    unsafe fn retire(&mut self, ptr: Shared<T>) {
+        let node = ptr.as_node_ptr();
+        let old = (*node).header().word(W_COUNT).fetch_or(RETIRED, Ordering::AcqRel);
+        debug_assert_eq!(old & RETIRED, 0, "node retired twice");
+        self.local_stats.on_retire(&self.domain.stats);
+        // Drop the reference the data structure held since `alloc`.
+        self.release_node(node);
+    }
+
+    fn flush(&mut self) {
+        self.local_stats.flush(&self.domain.stats);
+    }
+}
+
+impl<T: Send + 'static> Drop for LfrcHandle<'_, T> {
+    fn drop(&mut self) {
+        self.leave();
+        self.local_stats.flush(&self.domain.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Lfrc<u64> {
+        Lfrc::with_config(SmrConfig {
+            max_protect: 4,
+            ..SmrConfig::default()
+        })
+    }
+
+    #[test]
+    fn retire_without_readers_frees_immediately() {
+        let d = domain();
+        let mut h = d.handle();
+        h.enter();
+        let n = h.alloc(1);
+        unsafe { h.retire(n) };
+        h.leave();
+        assert_eq!(d.stats().freed(), 1);
+        drop(h);
+    }
+
+    #[test]
+    fn nodes_are_reused_from_freelist() {
+        let d = domain();
+        let mut h = d.handle();
+        h.enter();
+        let a = h.alloc(1);
+        let addr = a.as_node_ptr() as usize;
+        unsafe { h.retire(a) };
+        let b = h.alloc(2);
+        assert_eq!(
+            b.as_node_ptr() as usize,
+            addr,
+            "type-stable reuse from the free list"
+        );
+        assert_eq!(unsafe { *b.deref() }, 2);
+        unsafe { h.retire(b) };
+        h.leave();
+        drop(h);
+    }
+
+    #[test]
+    fn protected_node_survives_retire() {
+        let d = domain();
+        let mut h = d.handle();
+        h.enter();
+        let n = h.alloc(77);
+        let link = Atomic::new(n);
+        let seen = h.protect(0, &link);
+        assert_eq!(seen, n);
+        let unlinked = link.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { h.retire(unlinked) };
+        // Still held by protection index 0.
+        assert_eq!(d.stats().freed(), 0);
+        assert_eq!(unsafe { *seen.deref() }, 77);
+        h.leave(); // releases the protection -> node freed
+        assert_eq!(d.stats().freed(), 1);
+        drop(h);
+    }
+
+    #[test]
+    fn protect_reuses_index() {
+        let d = domain();
+        let mut h = d.handle();
+        h.enter();
+        let a = h.alloc(1);
+        let b = h.alloc(2);
+        let link_a = Atomic::new(a);
+        let link_b = Atomic::new(b);
+        h.protect(0, &link_a);
+        h.protect(0, &link_b); // releases the reference on `a`
+        let ua = link_a.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { h.retire(ua) };
+        assert_eq!(d.stats().freed(), 1, "a freed: only b is held");
+        let ub = link_b.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { h.retire(ub) };
+        h.leave();
+        assert_eq!(d.stats().freed(), 2);
+        drop(h);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let d = &domain();
+        let link = &Atomic::<u64>::null();
+        let stop = &std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut w = d.handle();
+                for i in 0..3_000u64 {
+                    w.enter();
+                    let fresh = w.alloc(i);
+                    let old = link.swap(fresh, Ordering::AcqRel);
+                    if !old.is_null() {
+                        unsafe { w.retire(old) };
+                    }
+                    w.leave();
+                }
+                let last = link.swap(Shared::null(), Ordering::AcqRel);
+                if !last.is_null() {
+                    w.enter();
+                    unsafe { w.retire(last) };
+                    w.leave();
+                }
+                stop.store(true, Ordering::Release);
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut r = d.handle();
+                    while !stop.load(Ordering::Acquire) {
+                        r.enter();
+                        let p = r.protect(0, link);
+                        if !p.is_null() {
+                            assert!(unsafe { *p.deref() } < 3_000);
+                        }
+                        r.leave();
+                    }
+                });
+            }
+        });
+        assert!(d.stats().balanced(), "every node logically freed");
+    }
+}

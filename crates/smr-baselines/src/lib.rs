@@ -1,0 +1,44 @@
+//! Baseline safe-memory-reclamation schemes the Hyaline paper evaluates
+//! against (Section 6 and Table 1):
+//!
+//! * [`Leaky`] — no reclamation at all; the evaluation's general baseline.
+//! * [`Ebr`] — epoch-based reclamation ("Epoch"), fast but not robust.
+//! * [`Hp`] — Michael's hazard pointers, robust but per-access expensive.
+//! * [`He`] — hazard eras, HP's protocol over era values.
+//! * [`Ibr`] — 2GE interval-based reclamation.
+//! * [`Lfrc`] — lock-free reference counting, the Table 1 ablation row.
+//!
+//! All schemes implement [`smr_core::Smr`] and share `smr-core`'s universal
+//! three-word node header, so per-node memory overhead is identical across
+//! schemes and benchmark comparisons are fair.
+//!
+//! # Example
+//!
+//! ```
+//! use smr_baselines::Ebr;
+//! use smr_core::{Smr, SmrHandle};
+//!
+//! let domain: Ebr<u64> = Ebr::new();
+//! let mut handle = domain.handle();
+//! handle.enter();
+//! let node = handle.alloc(1);
+//! unsafe { handle.retire(node) };
+//! handle.leave();
+//! ```
+
+#![warn(missing_docs)]
+
+mod ebr;
+mod he;
+mod hp;
+mod ibr;
+mod leaky;
+mod lfrc;
+mod orphan;
+
+pub use ebr::{Ebr, EbrHandle};
+pub use he::{He, HeHandle};
+pub use hp::{Hp, HpHandle};
+pub use ibr::{Ibr, IbrHandle};
+pub use leaky::{Leaky, LeakyHandle};
+pub use lfrc::{Lfrc, LfrcHandle};

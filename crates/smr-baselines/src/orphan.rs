@@ -1,0 +1,172 @@
+//! Hand-off of retired nodes from dying handles.
+//!
+//! The scan-based schemes (EBR, HP, HE, IBR) keep retired nodes in
+//! thread-local limbo lists. When a handle is dropped while other threads
+//! still hold reservations, its remaining limbo nodes cannot be freed yet;
+//! classic implementations make unregistration *blocking* (the paper calls
+//! this out as a transparency failure, Section 2.4). To keep handle drop
+//! non-blocking — and tests deadlock-free — dying handles push their limbo
+//! chain onto a lock-free orphan list that any later scan adopts.
+
+use smr_core::SmrNode;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Header word used to chain orphaned nodes (shared with the limbo `next`
+/// role in every scan-based scheme).
+pub(crate) const W_CHAIN_NEXT: usize = 0;
+
+/// A lock-free stack of orphaned node chains.
+pub(crate) struct OrphanList<T> {
+    head: AtomicPtr<SmrNode<T>>,
+}
+
+impl<T> OrphanList<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Pushes a chain of nodes linked through header word 0.
+    ///
+    /// # Safety
+    ///
+    /// `head..=tail` must be a valid chain of exclusively owned retired
+    /// nodes; `tail`'s word 0 is overwritten.
+    pub(crate) unsafe fn push_chain(&self, head: *mut SmrNode<T>, tail: *mut SmrNode<T>) {
+        debug_assert!(!head.is_null() && !tail.is_null());
+        let mut old = self.head.load(Ordering::Acquire);
+        loop {
+            (*tail)
+                .header()
+                .word(W_CHAIN_NEXT)
+                .store(old as usize, Ordering::Relaxed);
+            match self
+                .head
+                .compare_exchange_weak(old, head, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(now) => old = now,
+            }
+        }
+    }
+
+    /// Detaches the entire orphan list, returning the chain head (possibly
+    /// null). The caller takes ownership of every node in the chain.
+    pub(crate) fn take_all(&self) -> *mut SmrNode<T> {
+        self.head.swap(std::ptr::null_mut(), Ordering::AcqRel)
+    }
+
+    /// Walks a chain taken by [`OrphanList::take_all`], invoking `f` on each
+    /// node.
+    ///
+    /// # Safety
+    ///
+    /// `head` must be a chain returned by `take_all` that the caller owns.
+    pub(crate) unsafe fn for_each_owned(
+        mut head: *mut SmrNode<T>,
+        mut f: impl FnMut(*mut SmrNode<T>),
+    ) {
+        while !head.is_null() {
+            let next = (*head).header().word(W_CHAIN_NEXT).load(Ordering::Relaxed) as *mut _;
+            f(head);
+            head = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for OrphanList<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrphanList").finish_non_exhaustive()
+    }
+}
+
+/// Links a limbo vector into a chain through header word 0 and returns
+/// `(head, tail)`; helper for handing nodes to an [`OrphanList`].
+///
+/// # Safety
+///
+/// The nodes must be exclusively owned; word 0 of each is overwritten.
+/// Other header words (retire epochs / eras) are preserved.
+pub(crate) unsafe fn link_chain<T>(
+    nodes: &[*mut SmrNode<T>],
+) -> Option<(*mut SmrNode<T>, *mut SmrNode<T>)> {
+    let (&head, rest) = nodes.split_first()?;
+    let mut prev = head;
+    for &node in rest {
+        (*prev)
+            .header()
+            .word(W_CHAIN_NEXT)
+            .store(node as usize, Ordering::Relaxed);
+        prev = node;
+    }
+    Some((head, prev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_roundtrip() {
+        let list = OrphanList::<u32>::new();
+        let nodes: Vec<_> = (0..4).map(|v| SmrNode::alloc(v).as_ptr()).collect();
+        let (head, tail) = unsafe { link_chain(&nodes) }.unwrap();
+        unsafe { list.push_chain(head, tail) };
+
+        let taken = list.take_all();
+        assert!(!taken.is_null());
+        let mut seen = Vec::new();
+        unsafe {
+            OrphanList::for_each_owned(taken, |n| seen.push(n));
+        }
+        assert_eq!(seen, nodes);
+        assert!(list.take_all().is_null());
+        for n in nodes {
+            unsafe { SmrNode::dealloc(n, true) };
+        }
+    }
+
+    #[test]
+    fn chains_stack_up() {
+        let list = OrphanList::<u32>::new();
+        let a: Vec<_> = (0..2).map(|v| SmrNode::alloc(v).as_ptr()).collect();
+        let b: Vec<_> = (10..13).map(|v| SmrNode::alloc(v).as_ptr()).collect();
+        let (ha, ta) = unsafe { link_chain(&a) }.unwrap();
+        unsafe { list.push_chain(ha, ta) };
+        let (hb, tb) = unsafe { link_chain(&b) }.unwrap();
+        unsafe { list.push_chain(hb, tb) };
+
+        let mut count = 0;
+        unsafe {
+            OrphanList::for_each_owned(list.take_all(), |n| {
+                count += 1;
+                SmrNode::dealloc(n, true);
+            });
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn concurrent_pushes_preserve_all_nodes() {
+        let list = &OrphanList::<u64>::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let node = SmrNode::alloc(t * 1000 + i).as_ptr();
+                        unsafe { list.push_chain(node, node) };
+                    }
+                });
+            }
+        });
+        let mut count = 0;
+        unsafe {
+            OrphanList::for_each_owned(list.take_all(), |n| {
+                count += 1;
+                SmrNode::dealloc(n, true);
+            });
+        }
+        assert_eq!(count, 400);
+    }
+}

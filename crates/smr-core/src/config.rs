@@ -1,0 +1,125 @@
+//! Tunable parameters shared by all reclamation schemes.
+
+/// Configuration for a reclamation domain.
+///
+/// The defaults follow the parameters used in the Hyaline paper's evaluation
+/// (Section 6) scaled to the current machine: the number of Hyaline slots is
+/// the next power of two of twice the available parallelism (the paper caps
+/// slots at 128 on a 72-core machine), batches hold at least 64 nodes, and
+/// the stall-detection threshold is 8192.
+///
+/// # Example
+///
+/// ```
+/// use smr_core::SmrConfig;
+///
+/// let cfg = SmrConfig { slots: 8, ..SmrConfig::default() };
+/// assert!(cfg.slots.is_power_of_two());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrConfig {
+    /// Number of Hyaline slots (`k`). Must be a power of two: the wrap-around
+    /// `Adjs` accounting of Section 3.2 requires `k * Adjs == 0 (mod 2^64)`.
+    pub slots: usize,
+    /// Minimum number of nodes accumulated locally before a batch is retired
+    /// into the slot lists. The effective batch size is
+    /// `max(batch_min, slots + 1)`; the Hyaline algorithms require strictly
+    /// more nodes per batch than slots.
+    pub batch_min: usize,
+    /// Every `era_freq` allocations a thread advances the global era clock
+    /// (`Freq` in Figure 5). Also used as the epoch-advance frequency for EBR
+    /// and the era-advance frequency for HE/IBR.
+    pub era_freq: u64,
+    /// Number of locally retired nodes that triggers a reclamation scan in
+    /// the scan-based schemes (EBR, HP, HE, IBR).
+    pub scan_threshold: usize,
+    /// Number of protection indices available per thread for pointer-based
+    /// schemes (HP, HE). `protect(idx, ..)` requires `idx < max_protect`.
+    pub max_protect: usize,
+    /// Hyaline-S stall-detection threshold: `enter` skips slots whose `Ack`
+    /// counter is at or above this value (the paper suggests 8192).
+    pub ack_threshold: i64,
+    /// Enable Section 4.3 adaptive slot resizing for Hyaline-S.
+    pub adaptive: bool,
+    /// Capacity of the thread registry for schemes with per-thread state
+    /// (HP, HE, IBR, EBR, Hyaline-1, Hyaline-1S).
+    pub max_threads: usize,
+}
+
+impl SmrConfig {
+    /// Configuration with a specific Hyaline slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or not a power of two.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(
+            slots.is_power_of_two(),
+            "slot count must be a power of two, got {slots}"
+        );
+        Self {
+            slots,
+            ..Self::default()
+        }
+    }
+
+    /// The effective minimum batch size: `max(batch_min, slots + 1)`.
+    ///
+    /// Section 3.2 requires the number of nodes in a batch to be strictly
+    /// greater than the number of slots.
+    pub fn effective_batch_size(&self) -> usize {
+        self.batch_min.max(self.slots + 1)
+    }
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            slots: (cores * 2).next_power_of_two(),
+            batch_min: 64,
+            era_freq: 128,
+            scan_threshold: 128,
+            max_protect: 8,
+            ack_threshold: 8192,
+            adaptive: false,
+            max_threads: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_slots_power_of_two() {
+        let cfg = SmrConfig::default();
+        assert!(cfg.slots.is_power_of_two());
+        assert!(cfg.slots >= 2);
+    }
+
+    #[test]
+    fn effective_batch_size_respects_slots() {
+        let cfg = SmrConfig {
+            slots: 256,
+            batch_min: 64,
+            ..SmrConfig::default()
+        };
+        assert_eq!(cfg.effective_batch_size(), 257);
+        let cfg = SmrConfig {
+            slots: 4,
+            batch_min: 64,
+            ..SmrConfig::default()
+        };
+        assert_eq!(cfg.effective_batch_size(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_slots_rejects_non_power_of_two() {
+        let _ = SmrConfig::with_slots(6);
+    }
+}

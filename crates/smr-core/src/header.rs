@@ -1,0 +1,251 @@
+//! The universal node header and node allocation helpers.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ptr::{self, NonNull};
+use std::sync::atomic::AtomicUsize;
+
+/// The universal three-word header placed in front of every reclaimable node.
+///
+/// Every scheme in the workspace interprets the three words differently; the
+/// header itself is deliberately scheme-agnostic and only offers raw word
+/// access. Keeping one header for all schemes keeps per-node memory identical
+/// across schemes, which the Hyaline paper calls out as the fair comparison
+/// point ("Hyaline-(1)S requires three CPU words which is equivalent to
+/// HE/IBR for 64-bit CPUs", Section 2.4).
+///
+/// | word | Hyaline(-1,-S,-1S) | EBR | HP | HE / IBR |
+/// |------|---------------------|-----|----|----------|
+/// | 0 | slot-list `Next` / birth era / `NRef` (REFS node) | limbo next | retired next | retired next |
+/// | 1 | `batch_link` → REFS node / `Adjs` (REFS node) | retire epoch | — | birth era |
+/// | 2 | `batch_next` chain (low bit: payload-live flag) / `first` (REFS node) | — | — | retire era |
+///
+/// # Example
+///
+/// ```
+/// use smr_core::NodeHeader;
+/// use std::sync::atomic::Ordering;
+///
+/// let header = NodeHeader::new();
+/// header.word(1).store(42, Ordering::Relaxed);
+/// assert_eq!(header.word(1).load(Ordering::Relaxed), 42);
+/// ```
+#[repr(C)]
+#[derive(Debug, Default)]
+pub struct NodeHeader {
+    words: [AtomicUsize; 3],
+}
+
+impl NodeHeader {
+    /// Number of words in the header.
+    pub const WORDS: usize = 3;
+
+    /// A zero-initialized header.
+    pub fn new() -> Self {
+        Self {
+            words: [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)],
+        }
+    }
+
+    /// Raw access to header word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NodeHeader::WORDS`.
+    #[inline]
+    pub fn word(&self, i: usize) -> &AtomicUsize {
+        &self.words[i]
+    }
+}
+
+/// A heap node managed by a reclamation scheme: the universal header followed
+/// by the user payload.
+///
+/// Nodes are created with [`SmrNode::alloc`] and destroyed with
+/// [`SmrNode::dealloc`]; reclamation schemes do both on behalf of their
+/// callers (via [`SmrHandle::alloc`](crate::SmrHandle::alloc) and
+/// [`SmrHandle::retire`](crate::SmrHandle::retire)).
+///
+/// The payload may be *absent*: Hyaline finalizes partial batches by padding
+/// them with payload-less dummy nodes (Section 2.4 of the paper), which are
+/// allocated with [`SmrNode::alloc_dummy`] and freed with
+/// `dealloc(ptr, false)`.
+#[repr(C)]
+pub struct SmrNode<T> {
+    header: NodeHeader,
+    value: ManuallyDrop<T>,
+}
+
+impl<T> SmrNode<T> {
+    fn layout() -> Layout {
+        Layout::new::<SmrNode<T>>()
+    }
+
+    /// Allocates a node holding `value`, with a zeroed header.
+    pub fn alloc(value: T) -> NonNull<SmrNode<T>> {
+        let node = Self::alloc_raw();
+        unsafe {
+            ptr::addr_of_mut!((*node.as_ptr()).value).write(ManuallyDrop::new(value));
+        }
+        node
+    }
+
+    /// Allocates a *dummy* node: the header is zeroed, the payload is left
+    /// uninitialized.
+    ///
+    /// # Safety
+    ///
+    /// The caller must never read the payload of a dummy node and must free
+    /// it with `dealloc(ptr, false)` so the payload is not dropped.
+    pub unsafe fn alloc_dummy() -> NonNull<SmrNode<T>> {
+        Self::alloc_raw()
+    }
+
+    fn alloc_raw() -> NonNull<SmrNode<T>> {
+        let layout = Self::layout();
+        debug_assert!(layout.align() >= 1 << crate::TAG_BITS);
+        let raw = unsafe { alloc(layout) } as *mut SmrNode<T>;
+        let Some(node) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        unsafe {
+            ptr::addr_of_mut!((*node.as_ptr()).header).write(NodeHeader::new());
+        }
+        node
+    }
+
+    /// Frees a node previously created by [`SmrNode::alloc`] or
+    /// [`SmrNode::alloc_dummy`].
+    ///
+    /// # Safety
+    ///
+    /// * `node` must have been returned by `alloc`/`alloc_dummy` and not yet
+    ///   freed, and no other reference to it may exist.
+    /// * `drop_payload` must be `true` exactly when the node was created by
+    ///   [`SmrNode::alloc`] (it has a live payload).
+    pub unsafe fn dealloc(node: *mut SmrNode<T>, drop_payload: bool) {
+        if drop_payload {
+            ManuallyDrop::drop(&mut (*node).value);
+        }
+        dealloc(node as *mut u8, Self::layout());
+    }
+
+    /// Writes `value` into a node whose payload slot is currently
+    /// uninitialized or dropped (type-stable node reuse, as in lock-free
+    /// reference counting).
+    ///
+    /// # Safety
+    ///
+    /// The caller must exclusively own `node`, and the payload slot must not
+    /// hold a live value (it would be overwritten without being dropped).
+    #[inline]
+    pub unsafe fn write_value(node: *mut SmrNode<T>, value: T) {
+        ptr::addr_of_mut!((*node).value).write(ManuallyDrop::new(value));
+    }
+
+    /// Drops the payload in place without freeing the node's memory.
+    ///
+    /// # Safety
+    ///
+    /// The caller must exclusively own the payload, which must be live; it
+    /// must not be read again until rewritten with [`SmrNode::write_value`].
+    #[inline]
+    pub unsafe fn drop_value_in_place(node: *mut SmrNode<T>) {
+        ManuallyDrop::drop(&mut (*node).value);
+    }
+
+    /// The node's header.
+    #[inline]
+    pub fn header(&self) -> &NodeHeader {
+        &self.header
+    }
+
+    /// The node's payload.
+    ///
+    /// The returned reference is only meaningful for nodes created with
+    /// [`SmrNode::alloc`]; reclamation schemes never expose dummy nodes to
+    /// data-structure code.
+    #[inline]
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SmrNode<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmrNode")
+            .field("header", &self.header)
+            .field("value", &*self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DROPS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountsDrops(#[allow(dead_code)] u64);
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn header_words_independent() {
+        let h = NodeHeader::new();
+        h.word(0).store(1, Ordering::Relaxed);
+        h.word(1).store(2, Ordering::Relaxed);
+        h.word(2).store(3, Ordering::Relaxed);
+        assert_eq!(h.word(0).load(Ordering::Relaxed), 1);
+        assert_eq!(h.word(1).load(Ordering::Relaxed), 2);
+        assert_eq!(h.word(2).load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn header_is_first_field() {
+        // The reclamation schemes cast between node and header pointers; the
+        // header must live at offset zero.
+        let node = SmrNode::alloc(7u32);
+        let node_addr = node.as_ptr() as usize;
+        let header_addr = unsafe { node.as_ref().header() as *const _ as usize };
+        assert_eq!(node_addr, header_addr);
+        unsafe { SmrNode::dealloc(node.as_ptr(), true) };
+    }
+
+    #[test]
+    fn alloc_dealloc_drops_payload_once() {
+        DROPS.store(0, Ordering::Relaxed);
+        let node = SmrNode::alloc(CountsDrops(9));
+        unsafe { SmrNode::dealloc(node.as_ptr(), true) };
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dummy_nodes_do_not_drop_payload() {
+        DROPS.store(0, Ordering::Relaxed);
+        let node = unsafe { SmrNode::<CountsDrops>::alloc_dummy() };
+        unsafe { SmrNode::dealloc(node.as_ptr(), false) };
+        assert_eq!(DROPS.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn node_alignment_leaves_tag_bits() {
+        for _ in 0..64 {
+            let node = SmrNode::alloc(0u8);
+            assert_eq!(node.as_ptr() as usize & crate::TAG_MASK, 0);
+            unsafe { SmrNode::dealloc(node.as_ptr(), true) };
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let node = SmrNode::alloc(String::from("hyaline"));
+        assert_eq!(unsafe { node.as_ref() }.value(), "hyaline");
+        unsafe { SmrNode::dealloc(node.as_ptr(), true) };
+    }
+}

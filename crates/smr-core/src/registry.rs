@@ -1,0 +1,175 @@
+//! A lock-free claim/release registry of per-thread slot indices.
+//!
+//! Several schemes give every thread (handle) a dedicated index into fixed
+//! arrays: Hyaline-1/1S slots, and the reservation entries of EBR, HP, HE
+//! and IBR. Handles claim an index on creation and release it on drop; a
+//! bitmap keeps claiming ABA-free, and scans iterate only claimed indices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A lock-free claim/release registry of slot indices.
+///
+/// Hyaline-1 and Hyaline-1S give every thread its own slot; handles claim an
+/// index on creation and release it on drop. A bitmap keeps claiming
+/// ABA-free, and retirement iterates only over claimed indices.
+pub struct SlotRegistry {
+    bits: Box<[AtomicUsize]>,
+    capacity: usize,
+    claimed: AtomicUsize,
+    /// One past the highest index ever claimed (monotonic), bounding scans.
+    highwater: AtomicUsize,
+}
+
+impl SlotRegistry {
+    /// A registry with `capacity` slots, all free.
+    pub fn new(capacity: usize) -> Self {
+        let words = capacity.div_ceil(usize::BITS as usize);
+        Self {
+            bits: (0..words).map(|_| AtomicUsize::new(0)).collect(),
+            capacity,
+            claimed: AtomicUsize::new(0),
+            highwater: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims a free slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all `capacity` slots are claimed.
+    pub fn claim(&self) -> usize {
+        for (w, word) in self.bits.iter().enumerate() {
+            let mut cur = word.load(Ordering::Relaxed);
+            loop {
+                let free = !cur;
+                if free == 0 {
+                    break; // word full, try next
+                }
+                let bit = free.trailing_zeros() as usize;
+                let idx = w * usize::BITS as usize + bit;
+                if idx >= self.capacity {
+                    break;
+                }
+                match word.compare_exchange_weak(
+                    cur,
+                    cur | (1 << bit),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.claimed.fetch_add(1, Ordering::Relaxed);
+                        self.highwater.fetch_max(idx + 1, Ordering::Relaxed);
+                        return idx;
+                    }
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        panic!(
+            "slot registry exhausted: more than {} concurrent handles",
+            self.capacity
+        );
+    }
+
+    /// Releases a previously claimed index.
+    pub fn release(&self, idx: usize) {
+        debug_assert!(idx < self.capacity);
+        let w = idx / usize::BITS as usize;
+        let bit = idx % usize::BITS as usize;
+        let prev = self.bits[w].fetch_and(!(1 << bit), Ordering::AcqRel);
+        debug_assert_ne!(prev & (1 << bit), 0, "releasing an unclaimed slot");
+        self.claimed.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently claimed slots.
+    pub fn claimed(&self) -> usize {
+        self.claimed.load(Ordering::Relaxed)
+    }
+
+    /// Iterates over all currently claimed indices (a snapshot; indices
+    /// claimed or released concurrently may or may not be observed).
+    pub fn iter_claimed(&self) -> impl Iterator<Item = usize> + '_ {
+        let hw = self.highwater.load(Ordering::Acquire);
+        let words = hw.div_ceil(usize::BITS as usize);
+        (0..words).flat_map(move |w| {
+            let mut bitsword = self.bits[w].load(Ordering::Acquire);
+            std::iter::from_fn(move || {
+                if bitsword == 0 {
+                    return None;
+                }
+                let bit = bitsword.trailing_zeros() as usize;
+                bitsword &= bitsword - 1;
+                Some(w * usize::BITS as usize + bit)
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for SlotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotRegistry")
+            .field("capacity", &self.capacity)
+            .field("claimed", &self.claimed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_release_roundtrip() {
+        let reg = SlotRegistry::new(8);
+        let a = reg.claim();
+        let b = reg.claim();
+        assert_ne!(a, b);
+        assert_eq!(reg.claimed(), 2);
+        reg.release(a);
+        assert_eq!(reg.claimed(), 1);
+        let c = reg.claim();
+        assert_eq!(c, a, "lowest free index is reused");
+        reg.release(b);
+        reg.release(c);
+        assert_eq!(reg.claimed(), 0);
+    }
+
+    #[test]
+    fn iter_claimed_sees_claims() {
+        let reg = SlotRegistry::new(128);
+        let idx: Vec<usize> = (0..5).map(|_| reg.claim()).collect();
+        reg.release(idx[2]);
+        let seen: Vec<usize> = reg.iter_claimed().collect();
+        assert_eq!(seen, vec![idx[0], idx[1], idx[3], idx[4]]);
+        for &i in &[idx[0], idx[1], idx[3], idx[4]] {
+            reg.release(i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn claim_panics_when_full() {
+        let reg = SlotRegistry::new(2);
+        let _a = reg.claim();
+        let _b = reg.claim();
+        let _c = reg.claim();
+    }
+
+    #[test]
+    fn concurrent_claims_are_unique() {
+        let reg = &SlotRegistry::new(256);
+        let all = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mine: Vec<usize> = (0..32).map(|_| reg.claim()).collect();
+                    all.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let mut v = all.into_inner().unwrap();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 256, "every claim produced a distinct index");
+    }
+}

@@ -1,0 +1,202 @@
+//! A sequential reference model and reproducible operation sequences.
+//!
+//! Single-threaded linearizability checking: apply the same operation
+//! sequence to the structure under test and to a [`SequentialOracle`]
+//! (a `BTreeMap`), asserting equal results step by step. Sequences come from
+//! [`OpSequence`], a small seeded generator, so failures reproduce from just
+//! the seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One map operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Look up a key.
+    Get(u64),
+    /// Insert a key/value pair (fails if the key is present).
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+}
+
+/// The result of applying a [`MapOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOutcome {
+    /// Result of a get: the value found, if any.
+    Found(Option<u64>),
+    /// Result of an insert: whether the key was newly inserted.
+    Inserted(bool),
+    /// Result of a remove: the removed value, if any.
+    Removed(Option<u64>),
+}
+
+/// A `BTreeMap`-backed reference model.
+///
+/// # Example
+///
+/// ```
+/// use smr_testkit::oracle::{MapOp, MapOutcome, SequentialOracle};
+///
+/// let mut oracle = SequentialOracle::new();
+/// assert_eq!(oracle.apply(MapOp::Insert(1, 10)), MapOutcome::Inserted(true));
+/// assert_eq!(oracle.apply(MapOp::Get(1)), MapOutcome::Found(Some(10)));
+/// assert_eq!(oracle.apply(MapOp::Remove(1)), MapOutcome::Removed(Some(10)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SequentialOracle {
+    model: BTreeMap<u64, u64>,
+}
+
+impl SequentialOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one operation, returning the model's outcome.
+    ///
+    /// Insert semantics match the benchmark structures: insert fails (and
+    /// leaves the existing value) when the key is already present.
+    pub fn apply(&mut self, op: MapOp) -> MapOutcome {
+        match op {
+            MapOp::Get(k) => MapOutcome::Found(self.model.get(&k).copied()),
+            MapOp::Insert(k, v) => {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.model.entry(k) {
+                    e.insert(v);
+                    MapOutcome::Inserted(true)
+                } else {
+                    MapOutcome::Inserted(false)
+                }
+            }
+            MapOp::Remove(k) => MapOutcome::Removed(self.model.remove(&k)),
+        }
+    }
+
+    /// The value currently held under `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.model.get(&key).copied()
+    }
+
+    /// Number of keys in the model.
+    pub fn len(&self) -> usize {
+        self.model.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.model.is_empty()
+    }
+
+    /// Iterates over the model's entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.model.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// A seeded generator of operation sequences.
+///
+/// `read_permille` controls the fraction of `Get` operations (out of 1000);
+/// the remainder splits evenly between inserts and removes, matching the
+/// paper's workload mixes (0 → pure write stress, 900 → the read-mostly mix).
+#[derive(Debug)]
+pub struct OpSequence {
+    rng: SmallRng,
+    key_range: u64,
+    read_permille: u16,
+}
+
+impl OpSequence {
+    /// A generator over keys `0..key_range` with the given read share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_range` is zero or `read_permille > 1000`.
+    pub fn new(seed: u64, key_range: u64, read_permille: u16) -> Self {
+        assert!(key_range > 0, "key range must be non-empty");
+        assert!(read_permille <= 1000, "permille out of range");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            key_range,
+            read_permille,
+        }
+    }
+}
+
+impl Iterator for OpSequence {
+    type Item = MapOp;
+
+    fn next(&mut self) -> Option<MapOp> {
+        let key = self.rng.gen_range(0..self.key_range);
+        let roll = self.rng.gen_range(0..1000u16);
+        Some(if roll < self.read_permille {
+            MapOp::Get(key)
+        } else if (roll - self.read_permille).is_multiple_of(2) {
+            MapOp::Insert(key, self.rng.gen())
+        } else {
+            MapOp::Remove(key)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_insert_get_remove() {
+        let mut o = SequentialOracle::new();
+        assert_eq!(o.apply(MapOp::Insert(5, 50)), MapOutcome::Inserted(true));
+        assert_eq!(o.apply(MapOp::Insert(5, 99)), MapOutcome::Inserted(false));
+        assert_eq!(o.get(5), Some(50), "failed insert must not overwrite");
+        assert_eq!(o.apply(MapOp::Get(5)), MapOutcome::Found(Some(50)));
+        assert_eq!(o.apply(MapOp::Remove(5)), MapOutcome::Removed(Some(50)));
+        assert_eq!(o.apply(MapOp::Remove(5)), MapOutcome::Removed(None));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn sequences_reproduce_from_seed() {
+        let a: Vec<_> = OpSequence::new(42, 100, 500).take(200).collect();
+        let b: Vec<_> = OpSequence::new(42, 100, 500).take(200).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = OpSequence::new(43, 100, 500).take(200).collect();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn read_share_is_respected() {
+        let reads = OpSequence::new(7, 64, 900)
+            .take(10_000)
+            .filter(|op| matches!(op, MapOp::Get(_)))
+            .count();
+        assert!((8_500..=9_500).contains(&reads), "got {reads} reads");
+        let none = OpSequence::new(7, 64, 0)
+            .take(1_000)
+            .filter(|op| matches!(op, MapOp::Get(_)))
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        for op in OpSequence::new(1, 10, 300).take(1_000) {
+            let k = match op {
+                MapOp::Get(k) | MapOp::Insert(k, _) | MapOp::Remove(k) => k,
+            };
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let mut o = SequentialOracle::new();
+        o.apply(MapOp::Insert(3, 30));
+        o.apply(MapOp::Insert(1, 10));
+        o.apply(MapOp::Insert(2, 20));
+        let keys: Vec<_> = o.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(o.len(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic stalled-thread injection.
+//!
+//! The robustness experiments of the Hyaline paper (Figure 10a) and the
+//! robustness definition of §2.3 revolve around an adversary: a thread that
+//! enters an operation and stops indefinitely. A [`StallPoint`] makes that
+//! adversary deterministic in tests — the stalled thread parks exactly where
+//! the test wants it, the test observes the system under stall, then releases
+//! it and verifies recovery.
+
+use std::sync::{Barrier, Condvar, Mutex};
+
+/// A two-phase rendezvous for parking a thread mid-operation.
+///
+/// The stalling thread calls [`StallPoint::stall`] inside its operation; it
+/// blocks until the test calls [`StallPoint::release`]. The test can wait for
+/// the thread to actually arrive with [`StallPoint::wait_until_stalled`], so
+/// assertions run strictly *while* the thread is parked.
+///
+/// # Example
+///
+/// ```
+/// use smr_testkit::StallPoint;
+///
+/// let point = StallPoint::new();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         // ... enter an operation ...
+///         point.stall();
+///         // ... leave ...
+///     });
+///     point.wait_until_stalled();
+///     // The spawned thread is now parked inside its operation.
+///     point.release();
+/// });
+/// ```
+#[derive(Debug)]
+pub struct StallPoint {
+    arrived: Barrier,
+    released: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Default for StallPoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StallPoint {
+    /// A stall point for one stalled thread and one controller.
+    pub fn new() -> Self {
+        Self {
+            arrived: Barrier::new(2),
+            released: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Parks the calling thread until [`StallPoint::release`].
+    ///
+    /// Call from the thread that should stall, at the exact point in the
+    /// operation where the stall should happen.
+    pub fn stall(&self) {
+        self.arrived.wait();
+        let mut released = self.released.lock().unwrap();
+        while !*released {
+            released = self.condvar.wait(released).unwrap();
+        }
+    }
+
+    /// Blocks the controller until the stalled thread has arrived at
+    /// [`StallPoint::stall`].
+    pub fn wait_until_stalled(&self) {
+        self.arrived.wait();
+    }
+
+    /// Releases the stalled thread.
+    pub fn release(&self) {
+        let mut released = self.released.lock().unwrap();
+        *released = true;
+        self.condvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    #[test]
+    fn stall_orders_phases() {
+        // Phases: 0 = before stall, 1 = stalled, 2 = released.
+        let phase = AtomicU8::new(0);
+        let point = StallPoint::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                phase.store(1, Ordering::SeqCst);
+                point.stall();
+                phase.store(2, Ordering::SeqCst);
+            });
+            point.wait_until_stalled();
+            assert_eq!(phase.load(Ordering::SeqCst), 1, "thread parked at stall");
+            point.release();
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn release_before_stall_does_not_deadlock() {
+        let point = StallPoint::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                point.wait_until_stalled();
+                point.release();
+            });
+            point.stall(); // Pairs with wait_until_stalled, then returns.
+        });
+    }
+}

@@ -1,0 +1,211 @@
+//! Provenance-checked map values.
+//!
+//! When a benchmark or test stores arbitrary integers in a concurrent map, a
+//! read through freed-and-reused memory can return a stale value that is
+//! indistinguishable from a legitimate one. A [`TokenMint`] closes that hole:
+//! every value stored is a *token* that structurally encodes the key it was
+//! minted for plus a per-mint nonce, and carries a parity seal. On every read,
+//! [`TokenMint::validate`] checks that the token (a) is sealed correctly and
+//! (b) was minted for the key it was found under. Reads of reused memory
+//! surface as cross-key tokens or unsealed bit patterns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits of the token reserved for the key.
+const KEY_BITS: u32 = 24;
+/// Bits reserved for the nonce.
+const NONCE_BITS: u32 = 32;
+/// Shift of the seal field.
+const SEAL_SHIFT: u32 = KEY_BITS + NONCE_BITS;
+
+/// The error returned for a token that fails validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenViolation {
+    /// The token's parity seal is wrong: the bits were never produced by
+    /// [`TokenMint::mint`] (garbage from corrupted or reused memory).
+    BadSeal {
+        /// The offending token.
+        token: u64,
+    },
+    /// The token is sealed but was minted for a different key: a read
+    /// returned another key's value (misplaced node or reused memory).
+    WrongKey {
+        /// The offending token.
+        token: u64,
+        /// The key the token was found under.
+        found_under: u64,
+        /// The key the token encodes.
+        minted_for: u64,
+    },
+}
+
+impl std::fmt::Display for TokenViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenViolation::BadSeal { token } => {
+                write!(f, "token {token:#x} has a bad seal (memory corruption)")
+            }
+            TokenViolation::WrongKey {
+                token,
+                found_under,
+                minted_for,
+            } => write!(
+                f,
+                "token {token:#x} found under key {found_under} was minted for key {minted_for}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TokenViolation {}
+
+/// A mint of provenance-checked values.
+///
+/// # Example
+///
+/// ```
+/// use smr_testkit::TokenMint;
+///
+/// let mint = TokenMint::new();
+/// let token = mint.mint(5);
+/// mint.validate(5, token).unwrap();
+/// assert!(mint.validate(6, token).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct TokenMint {
+    nonce: AtomicU64,
+}
+
+impl TokenMint {
+    /// A fresh mint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest key encodable in a token.
+    pub const MAX_KEY: u64 = (1 << KEY_BITS) - 1;
+
+    fn seal(body: u64) -> u64 {
+        // An 8-bit mix of the body placed in the top byte; cheap and enough
+        // to make random bit patterns fail with probability 255/256.
+        let x = body.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (x >> 56) ^ (x >> 24 & 0xff)
+    }
+
+    /// Mints a fresh token for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` exceeds [`TokenMint::MAX_KEY`].
+    pub fn mint(&self, key: u64) -> u64 {
+        assert!(key <= Self::MAX_KEY, "key {key} exceeds token capacity");
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) & ((1 << NONCE_BITS) - 1);
+        let body = key | (nonce << KEY_BITS);
+        body | (Self::seal(body) << SEAL_SHIFT)
+    }
+
+    /// The key a token encodes (without validating the seal).
+    pub fn key_of(token: u64) -> u64 {
+        token & Self::MAX_KEY
+    }
+
+    /// Validates that `token` is sealed and was minted for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenViolation::BadSeal`] for bit patterns never produced by
+    /// this mint's `mint`, and [`TokenViolation::WrongKey`] for tokens minted
+    /// under a different key.
+    pub fn validate(&self, key: u64, token: u64) -> Result<(), TokenViolation> {
+        let body = token & ((1u64 << SEAL_SHIFT) - 1);
+        let seal = token >> SEAL_SHIFT;
+        if seal != Self::seal(body) {
+            return Err(TokenViolation::BadSeal { token });
+        }
+        let minted_for = Self::key_of(token);
+        if minted_for != key {
+            return Err(TokenViolation::WrongKey {
+                token,
+                found_under: key,
+                minted_for,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_validate_roundtrip() {
+        let mint = TokenMint::new();
+        for key in [0, 1, 1000, TokenMint::MAX_KEY] {
+            let t = mint.mint(key);
+            mint.validate(key, t).unwrap();
+            assert_eq!(TokenMint::key_of(t), key);
+        }
+    }
+
+    #[test]
+    fn tokens_are_unique_per_mint() {
+        let mint = TokenMint::new();
+        let a = mint.mint(3);
+        let b = mint.mint(3);
+        assert_ne!(a, b, "nonce must distinguish repeated mints");
+    }
+
+    #[test]
+    fn wrong_key_is_flagged() {
+        let mint = TokenMint::new();
+        let t = mint.mint(10);
+        match mint.validate(11, t) {
+            Err(TokenViolation::WrongKey {
+                found_under,
+                minted_for,
+                ..
+            }) => {
+                assert_eq!(found_under, 11);
+                assert_eq!(minted_for, 10);
+            }
+            other => panic!("expected WrongKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_fails_the_seal() {
+        let mint = TokenMint::new();
+        let mut hits = 0;
+        for garbage in [0u64, u64::MAX, 0xDEAD_DEAD_DEAD_DEAD, 12345, 1 << 60] {
+            if mint.validate(TokenMint::key_of(garbage), garbage).is_err() {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 4, "seal must reject nearly all garbage: {hits}/5");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds token capacity")]
+    fn oversized_key_panics() {
+        TokenMint::new().mint(TokenMint::MAX_KEY + 1);
+    }
+
+    #[test]
+    fn concurrent_mints_stay_unique() {
+        let mint = TokenMint::new();
+        let mut all = std::sync::Mutex::new(std::collections::HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    for _ in 0..1000 {
+                        local.push(mint.mint(1));
+                    }
+                    all.lock().unwrap().extend(local);
+                });
+            }
+        });
+        assert_eq!(all.get_mut().unwrap().len(), 4000);
+    }
+}

@@ -1,0 +1,251 @@
+//! Reader safety under deterministic stalls: the core SMR contract.
+//!
+//! A reader protects a pointer, then stalls indefinitely (the paper's
+//! robustness adversary). A writer unlinks and retires the pointed-to node
+//! and churns hard enough to drive many reclamation cycles. When the reader
+//! finally wakes, its protected pointer must still dereference to intact
+//! memory — for *every* scheme: non-robust schemes pin via the reservation,
+//! robust schemes must keep exactly this node while reclaiming the rest.
+//!
+//! Payloads are [`smr_testkit::Canary`]s, so a violation is a failed
+//! checksum (poisoned or reused memory) rather than silent garbage.
+
+use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+use smr_baselines::{Ebr, He, Hp, Ibr, Lfrc};
+use smr_core::{Atomic, Smr, SmrConfig, SmrHandle};
+use smr_testkit::{Canary, StallPoint};
+use std::sync::atomic::Ordering;
+
+const CHURN: u64 = 20_000;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        slots: 2,
+        batch_min: 4,
+        era_freq: 8,
+        scan_threshold: 16,
+        ack_threshold: 64,
+        max_threads: 16,
+        ..SmrConfig::default()
+    }
+}
+
+/// The protected-pointer-survives-stall scenario for one scheme.
+fn protected_survives_stall<S: Smr<Canary>>(config: SmrConfig) {
+    let domain = &S::with_config(config);
+    let link = &Atomic::<Canary>::null();
+    let stall = &StallPoint::new();
+
+    std::thread::scope(|s| {
+        // Reader: protect the published node, then stall inside the
+        // operation while holding the protection.
+        s.spawn(move || {
+            let mut h = domain.handle();
+            h.enter();
+            let mut seen = h.protect(0, link);
+            while seen.is_null() {
+                seen = h.protect(0, link);
+            }
+            // Validate before the stall: the node is alive.
+            unsafe { seen.deref() }.check().expect("pre-stall canary");
+            stall.stall();
+            // The writer has unlinked, retired, and churned; our protection
+            // must still hold the node intact.
+            unsafe { seen.deref() }
+                .check()
+                .expect("post-stall canary: protected node was reclaimed");
+            h.leave();
+        });
+
+        // Writer: publish, wait for the reader to park, unlink + retire the
+        // node, then churn to force reclamation cycles.
+        let mut h = domain.handle();
+        h.enter();
+        let node = h.alloc(Canary::new(7));
+        link.store(node, Ordering::Release);
+        h.leave();
+
+        stall.wait_until_stalled();
+
+        h.enter();
+        let unlinked = link.swap(smr_core::Shared::null(), Ordering::AcqRel);
+        assert!(!unlinked.is_null());
+        unsafe { h.retire(unlinked) };
+        h.leave();
+
+        for i in 0..CHURN {
+            h.enter();
+            let n = h.alloc(Canary::new(i));
+            unsafe { h.retire(n) };
+            h.leave();
+        }
+        h.flush();
+        stall.release();
+        drop(h);
+    });
+
+    // Handle-drop order between the two threads is arbitrary: if the writer
+    // dropped while the reader was still inside its operation, the pinned
+    // nodes were pushed onto the domain's orphan list. A fresh handle's scan
+    // adopts and frees them now that every reservation is gone.
+    let mut sweeper = domain.handle();
+    sweeper.flush();
+    drop(sweeper);
+
+    let stats = domain.stats();
+    assert!(
+        stats.balanced(),
+        "scheme leaked after quiescence: allocated {} freed {} deallocated {}",
+        stats.allocated(),
+        stats.freed(),
+        stats.deallocated()
+    );
+}
+
+/// Robust schemes must additionally have reclaimed almost all churned nodes
+/// *while* the reader was stalled.
+fn robust_reclaims_during_stall<S: Smr<Canary>>(config: SmrConfig) {
+    assert!(S::robust(), "test is only meaningful for robust schemes");
+    let domain = &S::with_config(config);
+    let link = &Atomic::<Canary>::null();
+    let stall = &StallPoint::new();
+
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut h = domain.handle();
+            h.enter();
+            let mut seen = h.protect(0, link);
+            while seen.is_null() {
+                seen = h.protect(0, link);
+            }
+            stall.stall();
+            unsafe { seen.deref() }.check().expect("post-stall canary");
+            h.leave();
+        });
+
+        let mut h = domain.handle();
+        h.enter();
+        let node = h.alloc(Canary::new(7));
+        link.store(node, Ordering::Release);
+        h.leave();
+
+        stall.wait_until_stalled();
+
+        h.enter();
+        let unlinked = link.swap(smr_core::Shared::null(), Ordering::AcqRel);
+        unsafe { h.retire(unlinked) };
+        h.leave();
+
+        for i in 0..CHURN {
+            h.enter();
+            let n = h.alloc(Canary::new(i));
+            unsafe { h.retire(n) };
+            h.leave();
+        }
+        h.flush();
+
+        // While the reader is still stalled: nearly everything churned after
+        // the reader's eras went stale must have been reclaimed.
+        let unreclaimed = domain.stats().unreclaimed();
+        assert!(
+            unreclaimed < CHURN / 10,
+            "{}: stalled reader pinned {unreclaimed} of {CHURN} churned nodes",
+            S::name()
+        );
+
+        stall.release();
+        drop(h);
+    });
+    // See `protected_survives_stall`: adopt any orphaned limbo before the
+    // balance check.
+    let mut sweeper = domain.handle();
+    sweeper.flush();
+    drop(sweeper);
+    assert!(domain.stats().balanced());
+}
+
+#[test]
+fn protected_survives_stall_hyaline() {
+    protected_survives_stall::<Hyaline<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_hyaline1() {
+    protected_survives_stall::<Hyaline1<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_hyaline_s() {
+    protected_survives_stall::<HyalineS<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_hyaline_s_adaptive() {
+    protected_survives_stall::<HyalineS<Canary>>(SmrConfig {
+        adaptive: true,
+        ..cfg()
+    });
+}
+
+#[test]
+fn protected_survives_stall_hyaline_1s() {
+    protected_survives_stall::<Hyaline1S<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_ebr() {
+    protected_survives_stall::<Ebr<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_hp() {
+    protected_survives_stall::<Hp<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_he() {
+    protected_survives_stall::<He<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_ibr() {
+    protected_survives_stall::<Ibr<Canary>>(cfg());
+}
+
+#[test]
+fn protected_survives_stall_lfrc() {
+    protected_survives_stall::<Lfrc<Canary>>(cfg());
+}
+
+#[test]
+fn stalled_reader_bounded_hyaline_s() {
+    robust_reclaims_during_stall::<HyalineS<Canary>>(cfg());
+}
+
+#[test]
+fn stalled_reader_bounded_hyaline_s_adaptive() {
+    robust_reclaims_during_stall::<HyalineS<Canary>>(SmrConfig {
+        adaptive: true,
+        ..cfg()
+    });
+}
+
+#[test]
+fn stalled_reader_bounded_hyaline_1s() {
+    robust_reclaims_during_stall::<Hyaline1S<Canary>>(cfg());
+}
+
+#[test]
+fn stalled_reader_bounded_hp() {
+    robust_reclaims_during_stall::<Hp<Canary>>(cfg());
+}
+
+#[test]
+fn stalled_reader_bounded_he() {
+    robust_reclaims_during_stall::<He<Canary>>(cfg());
+}
+
+#[test]
+fn stalled_reader_bounded_ibr() {
+    robust_reclaims_during_stall::<Ibr<Canary>>(cfg());
+}

@@ -1,0 +1,143 @@
+//! §3.3 trimming semantics across the Hyaline variants: `trim` must let
+//! previously retired nodes reclaim *without* ending the operation, must
+//! keep protected access safe, and must behave like `leave`+`enter` for
+//! non-Hyaline schemes (the trait default).
+
+use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
+use lockfree_ds::{ConcurrentMap, MichaelHashMap};
+use smr_baselines::Ebr;
+use smr_core::{Smr, SmrConfig, SmrHandle};
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        slots: 2,
+        batch_min: 4,
+        era_freq: 8,
+        scan_threshold: 8,
+        max_threads: 32,
+        ..SmrConfig::default()
+    }
+}
+
+/// A long operation window using trim reclaims its own churn.
+fn trim_reclaims<S>()
+where
+    S: Smr<lockfree_ds::ListNode<u64, u64>>,
+{
+    let map: MichaelHashMap<u64, u64, S> = MichaelHashMap::with_config_and_buckets(cfg(), 32);
+    let mut h = map.smr_handle();
+    h.enter();
+    for i in 0..2_000u64 {
+        let key = i % 64;
+        map.map_insert(&mut h, key, i);
+        map.map_remove(&mut h, key);
+        h.trim();
+    }
+    h.flush();
+    let pinned_during = map.stats().unreclaimed();
+    h.leave();
+    h.flush();
+    assert!(
+        pinned_during < 1_000,
+        "trim failed to reclaim inside the window: {pinned_during} pinned"
+    );
+    assert_eq!(map.stats().unreclaimed(), 0, "leftovers after leave");
+}
+
+#[test]
+fn trim_reclaims_hyaline() {
+    assert!(<Hyaline<u64> as Smr<u64>>::supports_trim());
+    trim_reclaims::<Hyaline<_>>();
+}
+
+#[test]
+fn trim_reclaims_hyaline1() {
+    assert!(<Hyaline1<u64> as Smr<u64>>::supports_trim());
+    trim_reclaims::<Hyaline1<_>>();
+}
+
+#[test]
+fn trim_reclaims_hyaline_s() {
+    assert!(<HyalineS<u64> as Smr<u64>>::supports_trim());
+    trim_reclaims::<HyalineS<_>>();
+}
+
+#[test]
+fn trim_reclaims_hyaline1_s() {
+    assert!(<Hyaline1S<u64> as Smr<u64>>::supports_trim());
+    trim_reclaims::<Hyaline1S<_>>();
+}
+
+#[test]
+fn trim_default_is_leave_enter() {
+    assert!(!<Ebr<u64> as Smr<u64>>::supports_trim());
+    // Behaviorally identical test: EBR's default trim (leave+enter) also
+    // lets its own churn reclaim inside the window.
+    trim_reclaims::<Ebr<_>>();
+}
+
+/// Without trim (or leave), a long operation window pins everything —
+/// the contrast that makes trim meaningful.
+#[test]
+fn long_window_without_trim_pins() {
+    let map: MichaelHashMap<u64, u64, Hyaline<_>> =
+        MichaelHashMap::with_config_and_buckets(cfg(), 32);
+    let mut h = map.smr_handle();
+    let mut other = map.smr_handle();
+    other.enter(); // a second active thread shares the window
+    h.enter();
+    for i in 0..2_000u64 {
+        let key = i % 64;
+        map.map_insert(&mut h, key, i);
+        map.map_remove(&mut h, key);
+        // no trim, no leave
+    }
+    h.flush();
+    let pinned = map.stats().unreclaimed();
+    assert!(
+        pinned > 1_000,
+        "expected a long no-trim window to pin retired nodes, got {pinned}"
+    );
+    h.leave();
+    other.leave();
+}
+
+/// Trim inside a window must not reclaim nodes another active thread still
+/// protects (safety under concurrency).
+#[test]
+fn trim_respects_concurrent_readers() {
+    let map: &MichaelHashMap<u64, u64, Hyaline<_>> =
+        &MichaelHashMap::with_config_and_buckets(cfg(), 32);
+    let inserted = &std::sync::Barrier::new(2);
+    let observed = &std::sync::Barrier::new(2);
+    let trimmed = &std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut reader = map.smr_handle();
+            reader.enter();
+            inserted.wait();
+            let value = map.map_get(&mut reader, 1);
+            assert_eq!(value, Some(10));
+            observed.wait();
+            trimmed.wait();
+            reader.leave();
+        });
+        let mut writer = map.smr_handle();
+        writer.enter();
+        map.map_insert(&mut writer, 1, 10);
+        inserted.wait();
+        observed.wait();
+        // Remove and churn through several trims while the reader is in.
+        map.map_remove(&mut writer, 1);
+        for i in 0..200u64 {
+            map.map_insert(&mut writer, 2 + i % 16, i);
+            map.map_remove(&mut writer, 2 + i % 16);
+            writer.trim();
+        }
+        trimmed.wait();
+        writer.leave();
+    });
+    let mut h = map.smr_handle();
+    h.flush();
+    assert_eq!(map.stats().unreclaimed(), 0);
+}
