@@ -5,8 +5,8 @@
 //! REFS node, one retirement-list link per slot (the `Next` of the batch's
 //! per-slot insertion node), and the stored `Adjs` constant (§4.3). Every
 //! transition of a thread's state machine performs exactly one atomic
-//! action — one head load, one CAS, one FAA — so the [`Explorer`]
-//! (crate::Explorer) interleaves the algorithms at the same granularity the
+//! action — one head load, one CAS, one FAA — so the
+//! [`Explorer`](crate::Explorer) interleaves the algorithms at the same granularity the
 //! hardware does (under sequential consistency).
 //!
 //! Safety checks are wired into the semantics:

@@ -276,6 +276,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "~30s exhaustive DFS; run with --features slow-tests (or --ignored)"
+    )]
     fn exhaustive_retire_churn_two_slots() {
         let outcome = Explorer::exhaustive(5_000_000).run(&retire_churn(2, 1, 2));
         assert!(outcome.complete, "tree too large: {}", outcome.executions);
@@ -359,6 +363,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "~10s exhaustive DFS; run with --features slow-tests (or --ignored)"
+    )]
     fn exhaustive_hyaline_s_churn() {
         let outcome = Explorer::exhaustive(8_000_000).run(&hyaline_s_churn(2, 1, 2));
         assert!(outcome.complete, "{} execs", outcome.executions);

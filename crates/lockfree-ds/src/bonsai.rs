@@ -1,7 +1,7 @@
 //! The Bonsai tree benchmark structure (the paper's Figure 8b/9b): a
 //! path-copying weight-balanced binary tree behind a CAS'd root, after
-//! Clements et al.'s RCU-balanced trees [13] as adapted by the IBR
-//! framework [35].
+//! Clements et al.'s RCU-balanced trees \[13\] as adapted by the IBR
+//! framework \[35\].
 //!
 //! Readers traverse an immutable snapshot. Writers rebuild the access path
 //! (and any rebalancing rotations) as fresh nodes and install the new root
@@ -14,7 +14,7 @@
 //! HP/HE cannot run it: a bounded set of hazard indices cannot cover an
 //! unboundedly deep snapshot traversal ("HP and HE are not implemented for
 //! this benchmark due to the complexity of the tree rotation operations"
-//! [35]). Interval/era schemes cover it because [`SmrHandle::protect`] is
+//! \[35\]). Interval/era schemes cover it because [`SmrHandle::protect`] is
 //! called on every hop, ratcheting the reservation.
 
 use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};

@@ -1,4 +1,4 @@
-//! Michael's lock-free hash map [26]: a fixed array of Harris–Michael
+//! Michael's lock-free hash map \[26\]: a fixed array of Harris–Michael
 //! sorted-list buckets (the paper's Figure 8c/9c benchmark structure).
 
 use smr_core::{Atomic, Smr, SmrConfig};
@@ -7,7 +7,7 @@ use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 use crate::list::{self, ListNode};
 
 /// Default number of buckets. The paper's workload spreads 100 000 keys; a
-/// load factor near one keeps bucket traversals short, matching [35].
+/// load factor near one keeps bucket traversals short, matching \[35\].
 pub const DEFAULT_BUCKETS: usize = 1 << 16;
 
 /// A deterministic hasher (fixed seed) so benchmark runs are reproducible.

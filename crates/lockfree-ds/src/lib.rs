@@ -3,14 +3,14 @@
 //! These are the four benchmark structures of the Hyaline paper's
 //! evaluation (Section 6) plus two extras used by examples and tests:
 //!
-//! * [`HarrisMichaelList`] — the Harris–Michael sorted linked list [20, 26]
+//! * [`HarrisMichaelList`] — the Harris–Michael sorted linked list \[20, 26\]
 //!   (Figures 8a/9a).
-//! * [`MichaelHashMap`] — Michael's hash map of list buckets [26]
+//! * [`MichaelHashMap`] — Michael's hash map of list buckets \[26\]
 //!   (Figures 8c/9c).
-//! * [`BonsaiTree`] — the path-copying weight-balanced tree [13, 35]
+//! * [`BonsaiTree`] — the path-copying weight-balanced tree \[13, 35\]
 //!   (Figures 8b/9b); every update retires a whole path, stressing
 //!   reclamation.
-//! * [`NatarajanMittalTree`] — the lock-free external BST [29]
+//! * [`NatarajanMittalTree`] — the lock-free external BST \[29\]
 //!   (Figures 8d/9d).
 //! * [`TreiberStack`], [`MsQueue`] — classic stack/queue for examples.
 //!

@@ -1,14 +1,14 @@
 //! The Harris–Michael sorted linked list.
 //!
-//! Harris's lock-free list [20] with Michael's hazard-pointer-compatible
-//! amendment [26]: traversals never walk *past* a logically deleted
+//! Harris's lock-free list \[20\] with Michael's hazard-pointer-compatible
+//! amendment \[26\]: traversals never walk *past* a logically deleted
 //! (marked) node — they unlink it first (retiring it timely) or restart.
 //! This is the variant every scheme can run, robust ones included; the
 //! Hyaline paper's §2.4 notes that robust schemes *require* this
 //! modification while basic Hyaline could also run Harris's original.
 //!
 //! The traversal core is shared with [`MichaelHashMap`](crate::MichaelHashMap),
-//! which is an array of these lists [26].
+//! which is an array of these lists \[26\].
 
 use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::Ordering;

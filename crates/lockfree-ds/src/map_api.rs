@@ -2,7 +2,7 @@
 //!
 //! The paper's evaluation runs the same workloads over four different
 //! structures; the harness drives them through this trait with `u64` keys
-//! and values (the framework of [35] likewise benchmarks integer maps).
+//! and values (the framework of \[35\] likewise benchmarks integer maps).
 
 use smr_core::{Smr, SmrConfig, SmrStats};
 

@@ -1,4 +1,4 @@
-//! The Natarajan–Mittal lock-free external binary search tree [29]
+//! The Natarajan–Mittal lock-free external binary search tree \[29\]
 //! (the paper's Figure 8d/9d benchmark structure).
 //!
 //! Keys live in leaves; internal nodes only route. Deletion is two-phase

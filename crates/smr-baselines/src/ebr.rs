@@ -1,6 +1,6 @@
 //! Epoch-based reclamation (EBR), the paper's `Epoch` baseline.
 //!
-//! This is the variant used by the IBR benchmark framework [35] that the
+//! This is the variant used by the IBR benchmark framework \[35\] that the
 //! paper compares against: a global epoch counter advanced every
 //! `era_freq` operations, per-thread epoch *reservations* published on
 //! `enter`, and per-thread limbo lists scanned when they exceed a

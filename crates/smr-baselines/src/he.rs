@@ -1,4 +1,4 @@
-//! Hazard eras (HE) [31].
+//! Hazard eras (HE) \[31\].
 //!
 //! HE keeps HP's per-thread reservation slots but publishes *eras* instead
 //! of pointer addresses: a reservation of era `v` protects every node whose

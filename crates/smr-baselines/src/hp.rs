@@ -1,4 +1,4 @@
-//! Michael's hazard pointers (HP) [26].
+//! Michael's hazard pointers (HP) \[26\].
 //!
 //! Each thread owns a fixed set of hazard slots; `protect` publishes the
 //! pointer it is about to dereference and re-validates the source, so a

@@ -1,4 +1,4 @@
-//! Interval-based reclamation: the 2GE-IBR variant [35].
+//! Interval-based reclamation: the 2GE-IBR variant \[35\].
 //!
 //! Each thread keeps a single reservation *interval* `[lower, upper]`:
 //! `enter` sets both to the current era, and every guarded pointer read

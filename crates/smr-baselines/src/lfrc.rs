@@ -1,4 +1,4 @@
-//! Lock-free reference counting (LFRC) [27, 34].
+//! Lock-free reference counting (LFRC) \[27, 34\].
 //!
 //! The paper's Table 1 lists LFRC as the classical `O(1)`-reclamation,
 //! fully robust scheme that is "very slow (especially reading)": every
@@ -12,7 +12,7 @@
 //! That is what makes the transient increment a stale reader may apply to a
 //! "freed" node harmless — the memory is still a node. A retired-flag bit
 //! in the count word ensures exactly one thread moves a node to the free
-//! list (the correction of [27]).
+//! list (the correction of \[27\]).
 
 use smr_core::{Atomic, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats};
 use std::marker::PhantomData;

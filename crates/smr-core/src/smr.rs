@@ -79,7 +79,7 @@ pub trait Smr<T: Send + 'static>: Send + Sync + Sized + 'static {
     /// chain of a Natarajan–Mittal deletion) can otherwise protect a node
     /// that was retired just before the hazard became visible, and the
     /// reclaimer will free it regardless. This is the paper's §2.4 remark
-    /// that robust schemes "require a modification [26] that timely retires
+    /// that robust schemes "require a modification \[26\] that timely retires
     /// deleted list nodes": traversals must never extend protection through
     /// unlinked nodes without re-validating reachability.
     ///

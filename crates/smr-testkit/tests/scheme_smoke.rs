@@ -1,0 +1,126 @@
+//! Smoke matrix: every exported SMR scheme must survive an
+//! allocate/publish/retire churn under 4 threads with exact drop balance.
+//!
+//! This is the cheap gate that keeps a future scheme (or a refactor of an
+//! existing one) from silently leaking, double-freeing, or deadlocking: each
+//! cell runs the same generic workload with [`DropRegistry`]-tracked payloads
+//! and asserts afterwards that every tracked allocation was dropped exactly
+//! once (`Leaky` asserts the complement: nothing was ever freed).
+
+use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
+use smr_testkit::drop_tracker::{DropRegistry, Tracked};
+use std::sync::atomic::Ordering;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 500;
+
+fn cfg() -> SmrConfig {
+    SmrConfig {
+        slots: 4,
+        batch_min: 8,
+        era_freq: 16,
+        scan_threshold: 16,
+        max_threads: 64,
+        ..SmrConfig::default()
+    }
+}
+
+/// Runs the churn and returns the registry for scheme-specific assertions.
+///
+/// Each thread alternates between private churn (alloc + immediate retire)
+/// and publishing through a shared slot (alloc, swap in, retire whatever the
+/// swap displaced) so retirement of nodes allocated by *other* threads is
+/// exercised too. The final slot occupant is retired during teardown.
+fn churn<S: Smr<Tracked<u64>>>() -> DropRegistry {
+    let registry = DropRegistry::new();
+    {
+        let domain = S::with_config(cfg());
+        let slot: Atomic<Tracked<u64>> = Atomic::null();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let registry = &registry;
+                let domain = &domain;
+                let slot = &slot;
+                scope.spawn(move || {
+                    let mut h = domain.handle();
+                    for i in 0..OPS_PER_THREAD {
+                        h.enter();
+                        let value = registry.track(t as u64 * OPS_PER_THREAD + i);
+                        let node = h.alloc(value);
+                        if i % 2 == 0 {
+                            let prev = slot.swap(node, Ordering::AcqRel);
+                            if !prev.is_null() {
+                                unsafe { h.retire(prev) };
+                            }
+                        } else {
+                            unsafe { h.retire(node) };
+                        }
+                        h.leave();
+                    }
+                    h.flush();
+                });
+            }
+        });
+        // Teardown: pull the last published node back out and retire it.
+        let mut h = domain.handle();
+        h.enter();
+        let last = slot.swap(Shared::null(), Ordering::AcqRel);
+        if !last.is_null() {
+            unsafe { h.retire(last) };
+        }
+        h.leave();
+        h.flush();
+        let stats = domain.stats();
+        // `>=` rather than `==`: Hyaline finalizes partial batches by
+        // padding them with internal dummy nodes, which are accounted as
+        // allocations too. The exact payload balance is asserted through
+        // the DropRegistry below.
+        assert!(
+            stats.allocated() >= THREADS as u64 * OPS_PER_THREAD,
+            "{}: allocation accounting is off ({} < {})",
+            S::name(),
+            stats.allocated(),
+            THREADS as u64 * OPS_PER_THREAD
+        );
+        drop(h);
+        // Domain drop reclaims whatever reservations no longer pin.
+    }
+    registry
+}
+
+/// Reclaiming schemes: exact drop balance once the domain is gone.
+macro_rules! smoke {
+    ($($test:ident => $scheme:ty),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            let registry = churn::<$scheme>();
+            registry.assert_quiescent();
+            assert_eq!(
+                registry.created(),
+                THREADS as u64 * OPS_PER_THREAD,
+                "payload count mismatch"
+            );
+        }
+    )+};
+}
+
+smoke! {
+    smoke_hyaline => hyaline::Hyaline<Tracked<u64>>,
+    smoke_hyaline1 => hyaline::Hyaline1<Tracked<u64>>,
+    smoke_hyaline_s => hyaline::HyalineS<Tracked<u64>>,
+    smoke_hyaline1_s => hyaline::Hyaline1S<Tracked<u64>>,
+    smoke_ebr => smr_baselines::Ebr<Tracked<u64>>,
+    smoke_hp => smr_baselines::Hp<Tracked<u64>>,
+    smoke_he => smr_baselines::He<Tracked<u64>>,
+    smoke_ibr => smr_baselines::Ibr<Tracked<u64>>,
+    smoke_lfrc => smr_baselines::Lfrc<Tracked<u64>>,
+}
+
+/// `Leaky` is the deliberate exception: retirement must never free anything,
+/// so every payload stays live (the complement of `assert_quiescent`).
+#[test]
+fn smoke_leaky_leaks_everything() {
+    let registry = churn::<smr_baselines::Leaky<Tracked<u64>>>();
+    assert_eq!(registry.dropped(), 0, "Leaky must never drop a payload");
+    assert_eq!(registry.live(), (THREADS as u64 * OPS_PER_THREAD) as i64);
+}

@@ -1,0 +1,239 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Supports `Criterion::default()` with the `sample_size`, `warm_up_time`,
+//! `measurement_time` and `configure_from_args` builders, `bench_function`
+//! with `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a straightforward warm-up + timed-samples loop; output
+//! is one line per benchmark with the median and min..max per-iteration
+//! times. No plotting, statistics beyond the median, or baseline files.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a value (re-export of
+/// `std::hint::black_box` for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark manager: configuration plus result reporting.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+            list_only: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`cargo bench` passes `--bench`; a
+    /// bare trailing string is treated as a name filter, as in criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--list" => self.list_only = true,
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse() {
+                            self = self.sample_size(n);
+                        }
+                    }
+                }
+                other if other.starts_with('-') => {
+                    // Unsupported flag: consume its value too when real
+                    // criterion defines it as value-taking, so the value is
+                    // not mistaken for a name filter (which would silently
+                    // skip every benchmark).
+                    const VALUE_FLAGS: &[&str] = &[
+                        "--save-baseline",
+                        "--baseline",
+                        "--baseline-lenient",
+                        "--load-baseline",
+                        "--measurement-time",
+                        "--warm-up-time",
+                        "--profile-time",
+                        "--output-format",
+                        "--color",
+                        "--colour",
+                        "--significance-level",
+                        "--noise-threshold",
+                        "--confidence-level",
+                        "--nresamples",
+                        "--format",
+                        "--logfile",
+                    ];
+                    if VALUE_FLAGS.contains(&other)
+                        && args.peek().is_some_and(|v| !v.starts_with('-'))
+                    {
+                        args.next();
+                    }
+                    eprintln!("criterion shim: ignoring unsupported flag {other}");
+                }
+                other => {
+                    self.filter = Some(other.to_string());
+                }
+            }
+        }
+        self
+    }
+
+    /// Runs (or lists/filters) one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+        if self.list_only {
+            println!("{name}: bench");
+            return self;
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine
+/// to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates iterations-per-sample so each timed
+        // sample runs long enough (>= ~50us) for the clock to resolve.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let iters_per_sample = ((50_000.0 / per_iter.max(0.1)) as u64).max(1);
+
+        let budget = Instant::now();
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples: iter() never called)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with explicit `config = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

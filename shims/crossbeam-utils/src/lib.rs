@@ -1,0 +1,73 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace uses.
+//!
+//! Only [`CachePadded`] is provided. The alignment matches the real crate's
+//! choice for x86_64/aarch64 (128 bytes: two cache lines, to defeat adjacent
+//! line prefetchers).
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of two cache lines.
+#[derive(Default, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of two cache lines.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_two_cache_lines() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

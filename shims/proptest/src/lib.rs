@@ -1,0 +1,132 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provided surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, plus [`strategy::Just`],
+//!   integer range strategies, tuple strategies (arity 2–4) and weighted
+//!   unions via [`prop_oneof!`].
+//! * [`arbitrary::any`] for the primitive integer types and `bool`.
+//! * [`collection::vec`](fn@collection::vec) accepting a fixed length,
+//!   `a..b` or `a..=b`.
+//! * The [`proptest!`] macro with optional `#![proptest_config(..)]`, and
+//!   `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports the
+//! generated inputs via the panic message but is not minimized), and no
+//! persistence of failing seeds. Case generation is deterministic per test
+//! unless `PROPTEST_SEED` is set in the environment.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// Prelude: everything a typical property test imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The shim has no shrinking machinery, so this is a plain `assert!` — a
+/// failure panics with the formatted message and the generated inputs that
+/// the `proptest!` wrapper prints on unwind.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Builds a strategy choosing among several alternatives, optionally
+/// weighted (`weight => strategy`). All alternatives must produce the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, then any number
+/// of `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    // Report the generated inputs if the body panics.
+                    let mut __case_desc =
+                        format!("[{} case {}]", stringify!($name), case);
+                    $(__case_desc.push_str(&format!(
+                        " {} = {:?};", stringify!($arg), &$arg,
+                    ));)+
+                    let __guard = $crate::test_runner::FailureReporter::new(__case_desc);
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,109 @@
+//! Test-runner plumbing: configuration, the per-case RNG, and failure
+//! reporting.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+///
+/// Only `cases` is honored by the shim; the other fields exist so that
+/// struct-update syntax against `ProptestConfig::default()` compiles.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Ignored by the shim (no shrinking).
+    pub max_shrink_iters: u32,
+    /// Ignored by the shim (no global rejection accounting).
+    pub max_global_rejects: u32,
+    /// Ignored by the shim (no local rejection accounting).
+    pub max_local_rejects: u32,
+    /// Ignored by the shim (no fork support).
+    pub fork: bool,
+    /// Ignored by the shim (no per-case timeout).
+    pub timeout: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+            max_local_rejects: 65_536,
+            fork: false,
+            timeout: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for one `(test, case)` pair.
+    ///
+    /// Deterministic by default so failures reproduce; set `PROPTEST_SEED`
+    /// to explore a different portion of the input space.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x4879_616C_696E_6521); // "Hyaline!"
+        let mut h = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3); // FNV-1a step
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Prints the generated inputs of a failing case while its panic unwinds.
+#[derive(Debug)]
+pub struct FailureReporter {
+    description: Option<String>,
+}
+
+impl FailureReporter {
+    /// Arms the reporter with the description of the current case.
+    pub fn new(description: String) -> Self {
+        Self {
+            description: Some(description),
+        }
+    }
+
+    /// Disarms the reporter; call after the case body succeeds.
+    pub fn disarm(mut self) {
+        self.description = None;
+    }
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if let Some(desc) = &self.description {
+            if std::thread::panicking() {
+                eprintln!("proptest case failed: {desc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Compile-and-run coverage for the exact macro surface the workspace uses.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    A,
+    B,
+}
+
+fn pair() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (
+        0..4usize,
+        vec(prop_oneof![2 => Just(Op::A), 1 => Just(Op::B)], 0..3),
+    )
+        .prop_map(|(a, b)| (a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Doc comments and attributes must be preserved.
+    #[test]
+    fn weighted_union_and_tuples(
+        p in vec(pair(), 1..=3),
+        seed in any::<u64>(),
+        flag in any::<bool>(),
+    ) {
+        let _ = (seed, flag);
+        prop_assert!(p.len() <= 3, "len = {}", p.len());
+        for (a, ops) in p {
+            prop_assert!(a < 4);
+            prop_assert!(ops.len() < 3);
+        }
+    }
+
+    #[test]
+    fn fixed_len_vec(xs in vec(0usize..=2, 9), n in 1usize..200) {
+        prop_assert_eq!(xs.len(), 9);
+        prop_assert_ne!(n, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn with_cases_form(x in 0u64..=u64::MAX) {
+        let _ = x;
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_form(x in 0u8..255) {
+        prop_assert!(x < 255);
+    }
+}
