@@ -1,35 +1,155 @@
 //! Internal stress tool: runs one scheme/structure combo at a chosen scale.
 //!
-//! Usage: `bisect <scheme> <structure> [threads] [secs] [key_range]`
+//! Usage: `bisect <scheme> <structure> [threads [secs [key_range]]]
+//! [--mix read-mostly] [--threads N,...] [--stalled N,...] [--use-trim]
+//! [bench scale flags / HYALINE_BENCH_* env]`
 //!
 //! Used to bisect crashes that only reproduce in optimized builds: run each
-//! combination in a separate process so a fault identifies the pair.
+//! combination in a separate process so a fault identifies the pair. The
+//! run honors the same [`BenchScale::from_env_and_args`] configuration as
+//! the figure drivers (`--secs`, `--prefill`, `--key-range`, `--trials`,
+//! `HYALINE_BENCH_*`, the scaled `SmrConfig`), accepts the operation mix
+//! and a stalled-thread count, and prints the fully resolved parameters so
+//! a bisected crash is replayable against the figure run that produced it.
+//!
+//! Thread count resolution: the bare third positional wins, then the first
+//! entry of `--threads`/`HYALINE_BENCH_THREADS` (this is a single-cell
+//! tool, so one count is run, not the sweep), then 8. `--stalled`/
+//! `HYALINE_BENCH_STALLED` resolve the same way, defaulting to 0. Unknown
+//! `--flags` are an error: a typo must not silently change the bisected
+//! configuration.
 
+use bench_harness::cli::{cli_args, BenchScale};
 use bench_harness::driver::BenchParams;
-use bench_harness::registry::run_combo;
+use bench_harness::registry::{run_combo, ALL_SCHEMES, STRUCTURES};
 use bench_harness::workload::OpMix;
 
+/// Flags (ours or [`BenchScale`]'s) that consume the following token, so
+/// positional collection never mistakes a flag's value for an argument.
+const VALUE_FLAGS: &[&str] = &[
+    "--mix",
+    "--stalled",
+    "--secs",
+    "--trials",
+    "--prefill",
+    "--key-range",
+    "--threads",
+];
+
+/// Flags that stand alone.
+const BARE_FLAGS: &[&str] = &["--read-mostly", "--use-trim"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bisect: {msg}");
+    eprintln!(
+        "usage: bisect <scheme> <structure> [threads [secs [key_range]]] \
+         [--mix write-intensive|read-mostly] [--threads N,...] [--stalled N,...] \
+         [--use-trim] [bench scale flags]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scheme = args.get(1).map(String::as_str).unwrap_or("Hyaline");
-    let structure = args.get(2).map(String::as_str).unwrap_or("list");
-    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let secs: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let key_range: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let mut scale = BenchScale::from_env_and_args();
+    let args = cli_args();
+
+    let mut positional: Vec<&str> = Vec::new();
+    let mut mix = OpMix::WriteIntensive;
+    let mut use_trim = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mix" => {
+                let raw = args.get(i + 1).map(String::as_str).unwrap_or("");
+                mix = OpMix::from_short_label(raw).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown mix `{raw}`; use write-intensive or read-mostly"
+                    ))
+                });
+            }
+            "--read-mostly" => mix = OpMix::ReadMostly,
+            "--use-trim" => use_trim = true,
+            flag if flag.starts_with("--") => {
+                // Only [`BenchScale`]'s own flags pass through; anything
+                // else is a typo that would silently change the bisected
+                // configuration.
+                if !VALUE_FLAGS.contains(&flag) && !BARE_FLAGS.contains(&flag) {
+                    fail(&format!("unknown flag {flag}"));
+                }
+            }
+            bare => positional.push(bare),
+        }
+        i += if VALUE_FLAGS.contains(&args[i].as_str()) {
+            2
+        } else {
+            1
+        };
+    }
+    if positional.len() > 5 {
+        fail(&format!("unexpected argument `{}`", positional[5]));
+    }
+
+    let scheme = positional.first().copied().unwrap_or("Hyaline");
+    let structure = positional.get(1).copied().unwrap_or("list");
+    if !ALL_SCHEMES.contains(&scheme) {
+        fail(&format!("unknown scheme {scheme}; known: {ALL_SCHEMES:?}"));
+    }
+    if !STRUCTURES.contains(&structure) {
+        fail(&format!(
+            "unknown structure {structure}; known: {STRUCTURES:?}"
+        ));
+    }
+    // Positional `[threads [secs [key_range]]]` retains the tool's original
+    // argument order; the named flags/env cover everything else.
+    let explicit = |flag: &str, env: &str| {
+        args.iter().any(|a| a == flag) || std::env::var(env).is_ok()
+    };
+    let threads: usize = match positional.get(2) {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("`{raw}` is not a thread count"))),
+        None if explicit("--threads", "HYALINE_BENCH_THREADS") => {
+            *scale.threads.first().unwrap_or(&8)
+        }
+        None => 8,
+    };
+    if let Some(raw) = positional.get(3) {
+        scale.base.secs = raw
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("`{raw}` is not a duration in seconds")));
+    }
+    if let Some(raw) = positional.get(4) {
+        scale.base.key_range = raw
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("`{raw}` is not a key range")));
+    }
+    // A single stalled count: the first entry of the figure drivers' list.
+    let stalled: usize = if explicit("--stalled", "HYALINE_BENCH_STALLED") {
+        *scale.stalled.first().unwrap_or(&0)
+    } else {
+        0
+    };
+
     let params = BenchParams {
         threads,
-        secs,
-        trials: 1,
-        prefill: (key_range / 2) as usize,
-        key_range,
-        mix: OpMix::WriteIntensive,
-        config: smr_core::SmrConfig {
-            slots: 8,
-            max_threads: 512,
-            ..smr_core::SmrConfig::default()
-        },
-        ..BenchParams::default()
+        stalled,
+        mix,
+        use_trim,
+        ..scale.base.clone()
     };
+    // Print the fully resolved configuration first: if the run crashes,
+    // this block is what makes the failure replayable.
+    println!(
+        "bisect: {scheme}/{structure} threads={threads} stalled={stalled} mix={} \
+         use_trim={use_trim} secs={} trials={} prefill={} key_range={} seed={:#x}",
+        mix.short_label(),
+        params.secs,
+        params.trials,
+        params.prefill,
+        params.key_range,
+        params.seed,
+    );
+    println!("bisect: config={:?}", params.config);
     match run_combo(scheme, structure, &params) {
         Some(r) => println!(
             "{scheme}/{structure}: {:.3} Mops/s, {} ops, retired {}, freed {}, unreclaimed avg {:.1}",

@@ -1,0 +1,123 @@
+//! Compares a candidate JSONL results file against a baseline and fails on
+//! perf regressions outside the noise band.
+//!
+//! ```text
+//! cargo run -p bench-harness --bin perfgate -- \
+//!     baseline.jsonl candidate.jsonl \
+//!     [--tolerance 0.10] [--unreclaimed-tolerance 0.50] \
+//!     [--unreclaimed-slack 64] [--warn-only]
+//! ```
+//!
+//! Exit codes: `0` pass (or `--warn-only`), `1` at least one metric of one
+//! configuration regressed, `2` usage or I/O error. Identical files always
+//! pass. Configurations present in only one file are reported but never
+//! fail the gate, so coverage can grow over time.
+
+use bench_harness::cli::cli_args;
+use bench_harness::gate::{compare, Tolerance};
+use bench_harness::results::read_records;
+use std::path::PathBuf;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("perfgate: error: {msg}");
+    eprintln!(
+        "usage: perfgate <baseline.jsonl> <candidate.jsonl> [--tolerance F] \
+         [--unreclaimed-tolerance F] [--unreclaimed-slack F] [--warn-only]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = cli_args();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut warn_only = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let fraction = |i: usize| -> f64 {
+            let raw = args
+                .get(i + 1)
+                .unwrap_or_else(|| usage_error(&format!("{} is missing its value", args[i])));
+            raw.parse()
+                .ok()
+                .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                .unwrap_or_else(|| {
+                    usage_error(&format!("{} {raw}: not a non-negative number", args[i]))
+                })
+        };
+        match args[i].as_str() {
+            "--tolerance" => {
+                tol.mops_frac = fraction(i);
+                i += 2;
+            }
+            "--unreclaimed-tolerance" => {
+                tol.unreclaimed_frac = fraction(i);
+                i += 2;
+            }
+            "--unreclaimed-slack" => {
+                tol.unreclaimed_slack = fraction(i);
+                i += 2;
+            }
+            "--warn-only" => {
+                warn_only = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown flag {flag}"));
+            }
+            path => {
+                files.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if files.len() != 2 {
+        usage_error(&format!(
+            "expected exactly 2 files (baseline, candidate), got {}",
+            files.len()
+        ));
+    }
+
+    let read = |path: &PathBuf| {
+        read_records(path).unwrap_or_else(|e| {
+            eprintln!("perfgate: error: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&files[0]);
+    let candidate = read(&files[1]);
+    println!(
+        "perfgate: {} baseline records ({}), {} candidate records ({}), \
+         mops band ±{:.0}%, unreclaimed band +{:.0}% (+{})",
+        baseline.len(),
+        files[0].display(),
+        candidate.len(),
+        files[1].display(),
+        100.0 * tol.mops_frac,
+        100.0 * tol.unreclaimed_frac,
+        tol.unreclaimed_slack,
+    );
+
+    let report = compare(&baseline, &candidate, tol);
+    print!("{report}");
+    if report.comparisons.is_empty() && !(baseline.is_empty() && candidate.is_empty()) {
+        println!(
+            "perfgate: note: no configuration appears in both files — records \
+             are only compared when every workload/SmrConfig parameter matches \
+             (same host defaults, same flags); re-record the baseline with the \
+             candidate's sweep command if this is unexpected"
+        );
+    }
+
+    if report.has_regression() {
+        if warn_only {
+            println!("perfgate: regression detected, but --warn-only is set; passing");
+        } else {
+            eprintln!("perfgate: FAIL — performance regressed beyond the noise band");
+            std::process::exit(1);
+        }
+    } else {
+        println!("perfgate: PASS");
+    }
+}

@@ -1,0 +1,188 @@
+//! Runs configurable figure sweeps and appends JSONL records per run.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin sweep -- \
+//!     [--out BENCH_sweep.jsonl] \
+//!     [--sweeps thread-scaling,oversubscription,robustness] \
+//!     [--structures hashmap,list | all] [--schemes Hyaline,Epoch,...] \
+//!     [--mix write-intensive|read-mostly] \
+//!     [--secs S] [--trials N] [--threads 1,2,...] [--stalled 0,1,...] ...
+//! ```
+//!
+//! Each measured `(scheme, structure, threads[, stalled])` point appends
+//! one [`bench_harness::BenchRecord`] — full `BenchParams`/`SmrConfig`
+//! provenance plus git sha, host cores, and timestamp — to the output file,
+//! building the repository's performance trajectory over time. The rendered
+//! figure tables still go to stdout, from the *same* runs. Compare two
+//! snapshots with the `perfgate` binary.
+
+use bench_harness::cli::{cli_args, BenchScale};
+use bench_harness::figures::{robustness_figure_recorded, throughput_figures_recorded};
+use bench_harness::registry::{FIGURE_SCHEMES, STRUCTURES};
+use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
+use bench_harness::workload::OpMix;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    ThreadScaling,
+    Oversubscription,
+    Robustness,
+}
+
+impl Sweep {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "thread-scaling" => Some(Self::ThreadScaling),
+            "oversubscription" => Some(Self::Oversubscription),
+            "robustness" => Some(Self::Robustness),
+            _ => None,
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("sweep: error: {msg}");
+    eprintln!(
+        "usage: sweep [--out FILE] [--sweeps thread-scaling,oversubscription,robustness] \
+         [--structures hashmap,... | all] [--schemes Hyaline,...] \
+         [--mix write-intensive|read-mostly] [bench scale flags]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let scale = BenchScale::from_env_and_args();
+    let args = cli_args();
+
+    let mut out = PathBuf::from("BENCH_sweep.jsonl");
+    let mut sweeps = vec![Sweep::ThreadScaling];
+    let mut structures: Vec<String> = vec!["hashmap".into(), "list".into()];
+    let mut schemes: Vec<String> = FIGURE_SCHEMES.iter().map(|s| s.to_string()).collect();
+    let mut mix = OpMix::WriteIntensive;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage_error(&format!("{} is missing its value", args[i])))
+        };
+        match args[i].as_str() {
+            "--out" => {
+                out = PathBuf::from(value(i));
+                i += 2;
+            }
+            "--sweeps" => {
+                sweeps = value(i)
+                    .split(',')
+                    .map(|s| {
+                        Sweep::parse(s.trim())
+                            .unwrap_or_else(|| usage_error(&format!("unknown sweep `{s}`")))
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--structures" => {
+                let v = value(i);
+                structures = if v == "all" {
+                    STRUCTURES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    v.split(',').map(|s| s.trim().to_string()).collect()
+                };
+                for s in &structures {
+                    if !STRUCTURES.contains(&s.as_str()) {
+                        usage_error(&format!("unknown structure `{s}`; known: {STRUCTURES:?}"));
+                    }
+                }
+                i += 2;
+            }
+            "--schemes" => {
+                schemes = value(i).split(',').map(|s| s.trim().to_string()).collect();
+                for s in &schemes {
+                    if !FIGURE_SCHEMES.contains(&s.as_str()) {
+                        usage_error(&format!("unknown scheme `{s}`; known: {FIGURE_SCHEMES:?}"));
+                    }
+                }
+                i += 2;
+            }
+            "--mix" => {
+                mix = OpMix::from_short_label(value(i)).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown mix `{}`; use write-intensive or read-mostly",
+                        value(i)
+                    ))
+                });
+                i += 2;
+            }
+            _ => i += 1, // BenchScale flags, already applied.
+        }
+    }
+
+    let scheme_refs: Vec<&str> = schemes.iter().map(String::as_str).collect();
+    let mut sink = ResultSink::new(Provenance::detect(wall_clock_timestamp()));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "== sweep: {} trial(s) x {:.2}s, prefill {} of {} keys, {} -> {} ==\n",
+        scale.base.trials,
+        scale.base.secs,
+        scale.base.prefill,
+        scale.base.key_range,
+        mix.short_label(),
+        out.display()
+    );
+
+    for sweep in &sweeps {
+        match sweep {
+            Sweep::ThreadScaling | Sweep::Oversubscription => {
+                let (figure, threads): (&str, Vec<usize>) = match sweep {
+                    Sweep::ThreadScaling => ("thread-scaling", scale.threads.clone()),
+                    // Oversubscription stresses the threads >> cores regime
+                    // where Hyaline's asynchronous tracking shines.
+                    _ => (
+                        "oversubscription",
+                        [1, 2, 4, 8].iter().map(|&m| cores * m).collect(),
+                    ),
+                };
+                for structure in &structures {
+                    let (tput, unrec) = throughput_figures_recorded(
+                        figure,
+                        &format!("{figure} (unreclaimed)"),
+                        structure,
+                        mix,
+                        &threads,
+                        &scale.base,
+                        &scheme_refs,
+                        Some(&mut sink),
+                    );
+                    println!("{tput}");
+                    println!("{unrec}");
+                }
+            }
+            Sweep::Robustness => {
+                let active = cores.max(2);
+                let max_stalled = scale.stalled.iter().copied().max().unwrap_or(8);
+                let capped_slots = (max_stalled / 2).max(2).next_power_of_two();
+                let table = robustness_figure_recorded(
+                    active,
+                    &scale.stalled,
+                    capped_slots,
+                    &scale.base,
+                    Some(&mut sink),
+                );
+                println!("{table}");
+            }
+        }
+    }
+
+    match sink.append_to(&out) {
+        Ok(n) => println!("appended {n} records to {}", out.display()),
+        Err(e) => {
+            eprintln!("sweep: error: cannot write {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    }
+}

@@ -10,6 +10,15 @@
 //!     --secs 10 --trials 5 --prefill 50000 --key-range 100000 \
 //!     --threads 1,9,18,...,144
 //! ```
+//!
+//! Only the arguments the invoking tool actually forwarded are scanned: if
+//! the binary's own argv contains a literal `--` separator everything before
+//! it belongs to the harness (cargo/criterion/libtest flags) and is ignored;
+//! otherwise the whole argv tail is ours (cargo strips its `--` before
+//! handing the rest to `cargo run`/`cargo bench` targets). Unparsable values
+//! of known flags and malformed `HYALINE_BENCH_*` variables are *not*
+//! silently dropped: each one produces a warning on stderr and the previous
+//! (environment or default) value is kept.
 
 use smr_core::SmrConfig;
 
@@ -26,18 +35,32 @@ pub struct BenchScale {
     pub base: BenchParams,
 }
 
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.parse().ok()
+/// The slice of this process's argv that belongs to the benchmark, not to
+/// cargo or the bench harness: everything after the first literal `--` if
+/// one is present, else everything after the program name.
+pub fn cli_args() -> Vec<String> {
+    own_args(std::env::args().collect())
 }
 
-fn env_f64(name: &str) -> Option<f64> {
-    std::env::var(name).ok()?.parse().ok()
+fn own_args(argv: Vec<String>) -> Vec<String> {
+    match argv.iter().position(|a| a == "--") {
+        Some(sep) => argv[sep + 1..].to_vec(),
+        None => argv.into_iter().skip(1).collect(),
+    }
 }
 
-fn parse_list(s: &str) -> Vec<usize> {
-    s.split(',')
-        .filter_map(|part| part.trim().parse().ok())
-        .collect()
+/// Parses a comma-separated list of counts, rejecting the whole value if
+/// any entry is unparsable (so `1,x,8` cannot silently become `[1,8]`).
+fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        out.push(
+            part.parse()
+                .map_err(|_| format!("`{part}` in `{s}` is not a thread count"))?,
+        );
+    }
+    Ok(out)
 }
 
 impl Default for BenchScale {
@@ -78,91 +101,119 @@ impl Default for BenchScale {
 
 impl BenchScale {
     /// Builds the scale from defaults, environment, then CLI arguments.
+    ///
+    /// Every malformed value encountered along the way is reported on
+    /// stderr (the benchmark still runs, with that value ignored).
     pub fn from_env_and_args() -> Self {
         let mut scale = Self::default();
-        if let Some(v) = env_f64("HYALINE_BENCH_SECS") {
-            scale.base.secs = v;
-        }
-        if let Some(v) = env_u64("HYALINE_BENCH_TRIALS") {
-            scale.base.trials = v as usize;
-        }
-        if let Some(v) = env_u64("HYALINE_BENCH_PREFILL") {
-            scale.base.prefill = v as usize;
-        }
-        if let Some(v) = env_u64("HYALINE_BENCH_KEY_RANGE") {
-            scale.base.key_range = v;
-        }
-        if let Some(v) = env_u64("HYALINE_BENCH_ACK_THRESHOLD") {
-            scale.base.config.ack_threshold = v as i64;
-        }
-        if let Ok(v) = std::env::var("HYALINE_BENCH_THREADS") {
-            let list = parse_list(&v);
-            if !list.is_empty() {
-                scale.threads = list;
-            }
-        }
-        if let Ok(v) = std::env::var("HYALINE_BENCH_STALLED") {
-            let list = parse_list(&v);
-            if !list.is_empty() {
-                scale.stalled = list;
-            }
-        }
-
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 0;
-        while i < args.len() {
-            let take = |i: &mut usize| -> Option<String> {
-                *i += 1;
-                args.get(*i).cloned()
-            };
-            match args[i].as_str() {
-                "--secs" => {
-                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
-                        scale.base.secs = v;
-                    }
-                }
-                "--trials" => {
-                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
-                        scale.base.trials = v;
-                    }
-                }
-                "--prefill" => {
-                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
-                        scale.base.prefill = v;
-                    }
-                }
-                "--key-range" => {
-                    if let Some(v) = take(&mut i).and_then(|v| v.parse().ok()) {
-                        scale.base.key_range = v;
-                    }
-                }
-                "--threads" => {
-                    if let Some(v) = take(&mut i) {
-                        let list = parse_list(&v);
-                        if !list.is_empty() {
-                            scale.threads = list;
-                        }
-                    }
-                }
-                "--stalled" => {
-                    if let Some(v) = take(&mut i) {
-                        let list = parse_list(&v);
-                        if !list.is_empty() {
-                            scale.stalled = list;
-                        }
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
+        let mut warnings = scale.apply_env();
+        warnings.extend(scale.apply_args(&cli_args()));
+        for w in &warnings {
+            eprintln!("bench-harness: warning: {w}");
         }
         scale
+    }
+
+    /// Applies `HYALINE_BENCH_*` environment variables, returning a warning
+    /// per variable that is set but malformed.
+    pub fn apply_env(&mut self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let mut scalar = |name: &str, apply: &mut dyn FnMut(&str) -> bool| {
+            if let Ok(raw) = std::env::var(name) {
+                if !apply(&raw) {
+                    warnings.push(format!("ignoring {name}={raw}: not a valid number"));
+                }
+            }
+        };
+        scalar("HYALINE_BENCH_SECS", &mut |raw| {
+            raw.parse().map(|v| self.base.secs = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_TRIALS", &mut |raw| {
+            raw.parse().map(|v| self.base.trials = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_PREFILL", &mut |raw| {
+            raw.parse().map(|v| self.base.prefill = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_KEY_RANGE", &mut |raw| {
+            raw.parse().map(|v| self.base.key_range = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_ACK_THRESHOLD", &mut |raw| {
+            raw.parse().map(|v| self.base.config.ack_threshold = v).is_ok()
+        });
+        let mut list = |name: &str, apply: &mut dyn FnMut(Vec<usize>)| {
+            if let Ok(raw) = std::env::var(name) {
+                match parse_list(&raw) {
+                    Ok(list) if !list.is_empty() => apply(list),
+                    Ok(_) => warnings.push(format!("ignoring {name}: empty list")),
+                    Err(e) => warnings.push(format!("ignoring {name}: {e}")),
+                }
+            }
+        };
+        list("HYALINE_BENCH_THREADS", &mut |l| self.threads = l);
+        list("HYALINE_BENCH_STALLED", &mut |l| self.stalled = l);
+        warnings
+    }
+
+    /// Applies benchmark flags from `args` (already stripped of harness
+    /// flags by [`cli_args`]), returning a warning per malformed value.
+    /// Unknown flags are ignored — they belong to the individual binary
+    /// (`--scheme`, `--out`, ...) or to criterion.
+    pub fn apply_args(&mut self, args: &[String]) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let known = matches!(
+                flag,
+                "--secs" | "--trials" | "--prefill" | "--key-range" | "--threads" | "--stalled"
+            );
+            if !known {
+                i += 1;
+                continue;
+            }
+            let Some(raw) = args.get(i + 1) else {
+                warnings.push(format!("flag {flag} is missing its value"));
+                break;
+            };
+            let ok = match flag {
+                "--secs" => raw.parse().map(|v| self.base.secs = v).is_ok(),
+                "--trials" => raw.parse().map(|v| self.base.trials = v).is_ok(),
+                "--prefill" => raw.parse().map(|v| self.base.prefill = v).is_ok(),
+                "--key-range" => raw.parse().map(|v| self.base.key_range = v).is_ok(),
+                "--threads" | "--stalled" => match parse_list(raw) {
+                    Ok(list) if !list.is_empty() => {
+                        if flag == "--threads" {
+                            self.threads = list;
+                        } else {
+                            self.stalled = list;
+                        }
+                        true
+                    }
+                    Ok(_) => false,
+                    Err(e) => {
+                        warnings.push(format!("ignoring {flag} {raw}: {e}"));
+                        i += 2;
+                        continue;
+                    }
+                },
+                _ => unreachable!(),
+            };
+            if !ok {
+                warnings.push(format!("ignoring {flag} {raw}: not a valid value"));
+            }
+            i += 2;
+        }
+        warnings
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn defaults_include_oversubscription() {
@@ -175,8 +226,62 @@ mod tests {
     }
 
     #[test]
-    fn parse_list_handles_spaces() {
-        assert_eq!(parse_list("1, 2,4"), vec![1, 2, 4]);
-        assert_eq!(parse_list("x"), Vec::<usize>::new());
+    fn parse_list_handles_spaces_and_rejects_junk() {
+        assert_eq!(parse_list("1, 2,4").unwrap(), vec![1, 2, 4]);
+        assert!(parse_list("x").is_err());
+        // The bug this PR fixes: `1,x,8` must not silently become `[1,8]`.
+        assert!(parse_list("1,x,8").is_err());
+    }
+
+    #[test]
+    fn own_args_only_takes_flags_after_separator() {
+        // cargo/criterion flags before `--` must be invisible to us.
+        let argv = strings(&["bench-bin", "--bench", "--secs", "99", "--", "--secs", "7"]);
+        assert_eq!(own_args(argv), strings(&["--secs", "7"]));
+        // Without a separator the whole tail is ours (cargo strips its
+        // own `--` before exec'ing run/bench targets).
+        let argv = strings(&["bench-bin", "--secs", "7"]);
+        assert_eq!(own_args(argv), strings(&["--secs", "7"]));
+    }
+
+    #[test]
+    fn apply_args_sets_values_without_warnings() {
+        let mut scale = BenchScale::default();
+        let warnings = scale.apply_args(&strings(&[
+            "--secs", "1.5", "--trials", "3", "--prefill", "10", "--key-range", "20",
+            "--threads", "2,4", "--stalled", "0,1",
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(scale.base.secs, 1.5);
+        assert_eq!(scale.base.trials, 3);
+        assert_eq!(scale.base.prefill, 10);
+        assert_eq!(scale.base.key_range, 20);
+        assert_eq!(scale.threads, vec![2, 4]);
+        assert_eq!(scale.stalled, vec![0, 1]);
+    }
+
+    #[test]
+    fn apply_args_warns_on_bad_values_and_keeps_previous() {
+        let mut scale = BenchScale::default();
+        let default_threads = scale.threads.clone();
+        let warnings = scale.apply_args(&strings(&[
+            "--threads", "1,x,8", "--secs", "fast", "--trials",
+        ]));
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings[0].contains("--threads"), "{warnings:?}");
+        assert!(warnings[1].contains("--secs"), "{warnings:?}");
+        assert!(warnings[2].contains("missing its value"), "{warnings:?}");
+        assert_eq!(scale.threads, default_threads);
+        assert_eq!(scale.base.secs, 0.25);
+    }
+
+    #[test]
+    fn apply_args_ignores_unknown_flags_silently() {
+        let mut scale = BenchScale::default();
+        let warnings = scale.apply_args(&strings(&[
+            "--scheme", "Hyaline", "--out", "x.jsonl", "--secs", "2.0", "--nocapture",
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(scale.base.secs, 2.0);
     }
 }

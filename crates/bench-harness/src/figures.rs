@@ -3,8 +3,9 @@
 use smr_core::SmrConfig;
 
 use crate::driver::BenchParams;
-use crate::registry::{run_combo, supports, FIGURE_SCHEMES};
+use crate::registry::{run_combo, run_combo_recorded, supports, FIGURE_SCHEMES};
 use crate::report::FigureTable;
+use crate::results::ResultSink;
 use crate::workload::OpMix;
 
 /// Structure display names as used in the paper's captions.
@@ -29,23 +30,50 @@ pub fn throughput_figures(
     threads: &[usize],
     base: &BenchParams,
 ) -> (FigureTable, FigureTable) {
+    throughput_figures_recorded(
+        fig_throughput,
+        fig_unreclaimed,
+        structure,
+        mix,
+        threads,
+        base,
+        FIGURE_SCHEMES,
+        None,
+    )
+}
+
+/// [`throughput_figures`] over a chosen scheme subset, optionally recording
+/// each run into `sink` (one [`crate::results::BenchRecord`] per
+/// `(scheme, threads)` cell, carrying both metrics) so the persistent JSONL
+/// trajectory is built from the same measurements as the rendered tables.
+#[allow(clippy::too_many_arguments)]
+pub fn throughput_figures_recorded(
+    fig_throughput: &str,
+    fig_unreclaimed: &str,
+    structure: &str,
+    mix: OpMix,
+    threads: &[usize],
+    base: &BenchParams,
+    schemes: &[&str],
+    mut sink: Option<&mut ResultSink>,
+) -> (FigureTable, FigureTable) {
     let caption = structure_caption(structure);
     let mut tput = FigureTable::new(
         format!("{fig_throughput} — {caption}, {}", mix.label()),
         "threads",
         "Mops/s",
-        FIGURE_SCHEMES,
+        schemes,
     );
     let mut unrec = FigureTable::new(
         format!("{fig_unreclaimed} — {caption}, {}", mix.label()),
         "threads",
         "unreclaimed objects",
-        FIGURE_SCHEMES,
+        schemes,
     );
     for &t in threads {
-        let mut tput_row = Vec::with_capacity(FIGURE_SCHEMES.len());
-        let mut unrec_row = Vec::with_capacity(FIGURE_SCHEMES.len());
-        for &scheme in FIGURE_SCHEMES {
+        let mut tput_row = Vec::with_capacity(schemes.len());
+        let mut unrec_row = Vec::with_capacity(schemes.len());
+        for &scheme in schemes {
             if !supports(scheme, structure) {
                 tput_row.push(None);
                 unrec_row.push(None);
@@ -56,7 +84,8 @@ pub fn throughput_figures(
                 mix,
                 ..base.clone()
             };
-            let r = run_combo(scheme, structure, &params).expect("supported combo");
+            let r = run_combo_recorded(fig_throughput, scheme, scheme, structure, &params, &mut sink)
+                .expect("supported combo");
             tput_row.push(Some(r.mops));
             unrec_row.push(Some(r.avg_unreclaimed));
         }
@@ -76,6 +105,20 @@ pub fn robustness_figure(
     stalled_counts: &[usize],
     capped_slots: usize,
     base: &BenchParams,
+) -> FigureTable {
+    robustness_figure_recorded(active, stalled_counts, capped_slots, base, None)
+}
+
+/// [`robustness_figure`] with optional JSONL recording: each `(series,
+/// stalled)` run lands in `sink` under its series name (so the capped and
+/// adaptive Hyaline-S configurations stay distinguishable) with the exact
+/// `SmrConfig` it ran under.
+pub fn robustness_figure_recorded(
+    active: usize,
+    stalled_counts: &[usize],
+    capped_slots: usize,
+    base: &BenchParams,
+    mut sink: Option<&mut ResultSink>,
 ) -> FigureTable {
     const SCHEMES: &[&str] = &[
         "Hyaline",
@@ -126,7 +169,10 @@ pub fn robustness_figure(
                 config,
                 ..base.clone()
             };
-            row.push(run_combo(name, "hashmap", &params).map(|r| r.avg_unreclaimed));
+            row.push(
+                run_combo_recorded("Fig 10a", scheme, name, "hashmap", &params, &mut sink)
+                    .map(|r| r.avg_unreclaimed),
+            );
         }
         table.push_row(stalled, row);
     }
@@ -210,6 +256,64 @@ mod tests {
             throughput_figures("Fig 8b", "Fig 9b", "bonsai", OpMix::WriteIntensive, &[1], &quick());
         assert!(tput.value(1, "HP").is_none());
         assert!(tput.value(1, "Hyaline").is_some());
+    }
+
+    #[test]
+    fn recorded_figures_emit_one_record_per_cell() {
+        use crate::results::{Provenance, ResultSink};
+        let mut sink = ResultSink::new(Provenance {
+            git_sha: None,
+            host_cores: 1,
+            timestamp: "0".into(),
+        });
+        let (tput, _) = throughput_figures_recorded(
+            "Fig 8c",
+            "Fig 9c",
+            "hashmap",
+            OpMix::WriteIntensive,
+            &[1, 2],
+            &quick(),
+            &["Hyaline", "Epoch"],
+            Some(&mut sink),
+        );
+        assert_eq!(tput.schemes, vec!["Hyaline", "Epoch"]);
+        assert_eq!(sink.records().len(), 4);
+        assert!(sink
+            .records()
+            .iter()
+            .any(|r| r.scheme == "Epoch" && r.threads == 2 && r.figure == "Fig 8c"));
+        // The table cell and the record carry the same measurement.
+        let rec = sink
+            .records()
+            .iter()
+            .find(|r| r.scheme == "Hyaline" && r.threads == 1)
+            .unwrap();
+        assert_eq!(tput.value(1, "Hyaline"), Some(rec.mops));
+    }
+
+    #[test]
+    fn recorded_robustness_keeps_series_distinct() {
+        use crate::results::{Provenance, ResultSink};
+        let mut sink = ResultSink::new(Provenance {
+            git_sha: None,
+            host_cores: 1,
+            timestamp: "0".into(),
+        });
+        let table = robustness_figure_recorded(2, &[1], 4, &quick(), Some(&mut sink));
+        assert_eq!(sink.records().len(), table.schemes.len());
+        let adaptive = sink
+            .records()
+            .iter()
+            .find(|r| r.scheme == "Hyaline-S-adaptive")
+            .expect("adaptive series recorded");
+        assert!(adaptive.adaptive);
+        assert_eq!(adaptive.slots, 4);
+        let capped = sink
+            .records()
+            .iter()
+            .find(|r| r.scheme == "Hyaline-S")
+            .expect("capped series recorded");
+        assert!(!capped.adaptive);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   [`report::FigureTable`]s.
 //! * [`cli`] — scale configuration (duration, threads, prefill) from
 //!   environment variables or arguments, with laptop-scale defaults.
+//! * [`results`] — persistent JSONL benchmark records with full
+//!   configuration provenance (dependency-free encoder/decoder), written by
+//!   the `sweep` binary and the `--record` flag of the figure drivers.
+//! * [`gate`] — the perf-regression gate consumed by the `perfgate` binary:
+//!   compares two JSONL files with per-metric noise bands.
 //!
 //! # Example
 //!
@@ -35,9 +40,12 @@
 pub mod cli;
 pub mod driver;
 pub mod figures;
+pub mod gate;
 pub mod registry;
 pub mod report;
+pub mod results;
 pub mod workload;
 
 pub use driver::{run_bench, BenchParams, RunResult};
 pub use report::FigureTable;
+pub use results::{BenchRecord, Provenance, ResultSink};

@@ -6,6 +6,7 @@ use lockfree_ds::{BonsaiTree, HarrisMichaelList, MichaelHashMap, NatarajanMittal
 use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
 
 use crate::driver::{run_bench, BenchParams, RunResult};
+use crate::results::ResultSink;
 
 /// The scheme set of the paper's throughput figures, in legend order.
 pub const FIGURE_SCHEMES: &[&str] = &[
@@ -89,6 +90,28 @@ pub fn run_combo(scheme: &str, structure: &str, params: &BenchParams) -> Option<
     }
 }
 
+/// Like [`run_combo`], but additionally records the run (with full
+/// parameter provenance) into `sink` when one is supplied, so persistent
+/// JSONL results come from *the same runs* that fill the figure tables.
+///
+/// `record_as` is the series name written to the record; it can differ from
+/// `scheme` when one scheme appears under several configurations in a
+/// figure (e.g. `Hyaline-S-adaptive`).
+pub fn run_combo_recorded(
+    figure: &str,
+    record_as: &str,
+    scheme: &str,
+    structure: &str,
+    params: &BenchParams,
+    sink: &mut Option<&mut ResultSink>,
+) -> Option<RunResult> {
+    let result = run_combo(scheme, structure, params)?;
+    if let Some(sink) = sink.as_deref_mut() {
+        sink.record(figure, record_as, structure, params, &result);
+    }
+    Some(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +162,38 @@ mod tests {
     fn unknown_names_rejected() {
         assert!(run_combo("RCU", "list", &quick()).is_none());
         assert!(run_combo("Epoch", "skiplist", &quick()).is_none());
+    }
+
+    #[test]
+    fn recorded_runs_land_in_the_sink_with_provenance() {
+        use crate::results::{Provenance, ResultSink};
+        let mut sink = ResultSink::new(Provenance {
+            git_sha: Some("deadbeef".into()),
+            host_cores: 4,
+            timestamp: "123".into(),
+        });
+        let p = quick();
+        let r = run_combo_recorded(
+            "Fig 8c",
+            "Hyaline-S-adaptive",
+            "Hyaline-S",
+            "hashmap",
+            &p,
+            &mut Some(&mut sink),
+        )
+        .expect("supported combo");
+        // Unsupported combos record nothing.
+        assert!(run_combo_recorded("f", "HP", "HP", "bonsai", &p, &mut Some(&mut sink)).is_none());
+        // A `None` sink is a plain run.
+        assert!(run_combo_recorded("f", "Epoch", "Epoch", "list", &p, &mut None).is_some());
+        assert_eq!(sink.records().len(), 1);
+        let rec = &sink.records()[0];
+        assert_eq!(rec.scheme, "Hyaline-S-adaptive");
+        assert_eq!(rec.structure, "hashmap");
+        assert_eq!(rec.mix, "write-intensive");
+        assert_eq!(rec.threads, p.threads as u64);
+        assert_eq!(rec.slots, p.config.slots as u64);
+        assert_eq!(rec.git_sha.as_deref(), Some("deadbeef"));
+        assert_eq!(rec.mops, r.mops);
     }
 }

@@ -51,13 +51,14 @@ impl FigureTable {
             .and_then(|(_, vals)| vals[col])
     }
 
-    /// Renders the table as CSV (for downstream plotting).
+    /// Renders the table as CSV (for downstream plotting). Header fields
+    /// containing commas, quotes, or newlines are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.x_label);
+        out.push_str(&csv_field(&self.x_label));
         for s in &self.schemes {
             out.push(',');
-            out.push_str(s);
+            out.push_str(&csv_field(s));
         }
         out.push('\n');
         for (x, vals) in &self.rows {
@@ -75,17 +76,38 @@ impl FigureTable {
     }
 }
 
+/// Quotes a CSV field if it contains a comma, quote, or line break
+/// (doubling embedded quotes, per RFC 4180).
+fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 impl fmt::Display for FigureTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# {} [{}]", self.title, self.metric)?;
-        let width = 11usize;
-        write!(f, "{:<10}", self.x_label)?;
+        // Columns must fit the longest scheme name (series like
+        // `Hyaline-S-adaptive` exceed any fixed width) plus a two-space
+        // gutter; 11 keeps short-named tables visually identical to the
+        // historical fixed-width rendering.
+        let width = self
+            .schemes
+            .iter()
+            .map(|s| s.len() + 2)
+            .max()
+            .unwrap_or(0)
+            .max(11);
+        let x_width = self.x_label.len().max(10);
+        write!(f, "{:<x_width$}", self.x_label)?;
         for s in &self.schemes {
             write!(f, "{s:>width$}")?;
         }
         writeln!(f)?;
         for (x, vals) in &self.rows {
-            write!(f, "{x:<10}")?;
+            write!(f, "{x:<x_width$}")?;
             for v in vals {
                 match v {
                     Some(v) if *v >= 1000.0 => write!(f, "{v:>width$.1}")?,
@@ -134,5 +156,47 @@ mod tests {
     fn row_arity_checked() {
         let mut t = sample();
         t.push_row(3, vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn long_scheme_names_keep_columns_aligned() {
+        let mut t = FigureTable::new(
+            "Fig 10a",
+            "stalled",
+            "unreclaimed",
+            &["HP", "Hyaline-S-adaptive"],
+        );
+        t.push_row(0, vec![Some(1.0), Some(2.0)]);
+        t.push_row(12, vec![Some(12345.6789), None]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert!(lines.len() >= 3);
+        // Header and every row must have identical rendered widths, and
+        // each column must end at the same offset in every line.
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged columns: {widths:?}\n{text}"
+        );
+        assert!(lines[0].ends_with("Hyaline-S-adaptive"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_quotes() {
+        let mut t = FigureTable::new(
+            "Fig X",
+            "threads, active",
+            "Mops/s",
+            &["Hyaline (trim)", "say \"hi\",ok"],
+        );
+        t.push_row(1, vec![Some(1.0), Some(2.0)]);
+        let csv = t.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "\"threads, active\",Hyaline (trim),\"say \"\"hi\"\",ok\""
+        );
+        // Data rows keep exactly one field per scheme plus the x column.
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,1.000000,2.000000");
     }
 }

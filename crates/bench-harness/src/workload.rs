@@ -31,6 +31,23 @@ impl OpMix {
             OpMix::ReadMostly => "read-mostly (90% get / 10% put)",
         }
     }
+
+    /// Machine-friendly name used in results records and CLI flags.
+    pub fn short_label(self) -> &'static str {
+        match self {
+            OpMix::WriteIntensive => "write-intensive",
+            OpMix::ReadMostly => "read-mostly",
+        }
+    }
+
+    /// Parses [`OpMix::short_label`] back (also accepts `write`/`read`).
+    pub fn from_short_label(s: &str) -> Option<Self> {
+        match s {
+            "write-intensive" | "write" => Some(OpMix::WriteIntensive),
+            "read-mostly" | "read" => Some(OpMix::ReadMostly),
+            _ => None,
+        }
+    }
 }
 
 /// A per-thread deterministic operation stream.
@@ -90,6 +107,15 @@ impl OpStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn short_labels_round_trip() {
+        for mix in [OpMix::WriteIntensive, OpMix::ReadMostly] {
+            assert_eq!(OpMix::from_short_label(mix.short_label()), Some(mix));
+        }
+        assert_eq!(OpMix::from_short_label("write"), Some(OpMix::WriteIntensive));
+        assert_eq!(OpMix::from_short_label("zipfian"), None);
+    }
 
     #[test]
     fn keys_stay_in_range() {

@@ -6,12 +6,20 @@
 //! a capped slot count stays flat until the stalled threads outnumber the
 //! slots ("ran out of slots at 57" in the paper) and then interferes, while
 //! Hyaline-S with §4.3 adaptive resizing stays flat throughout.
+//!
+//! Pass `--record FILE.jsonl` to append one provenance-stamped JSONL
+//! record per `(series, stalled)` run.
 
-use bench_harness::cli::BenchScale;
-use bench_harness::figures::robustness_figure;
+use bench_harness::cli::{cli_args, BenchScale};
+use bench_harness::figures::robustness_figure_recorded;
+use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 
 fn main() {
     let scale = BenchScale::from_env_and_args();
+    let record_path = bench::record_path_from(&cli_args());
+    let mut sink = record_path
+        .as_ref()
+        .map(|_| ResultSink::new(Provenance::detect(wall_clock_timestamp())));
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -24,6 +32,8 @@ fn main() {
         "== Robustness: {} active threads, stalled sweep {:?}, Hyaline-S capped at {} slots ==\n",
         active, scale.stalled, capped_slots
     );
-    let table = robustness_figure(active, &scale.stalled, capped_slots, &scale.base);
+    let table =
+        robustness_figure_recorded(active, &scale.stalled, capped_slots, &scale.base, sink.as_mut());
     println!("{table}");
+    bench::flush_records(record_path.as_deref(), sink.as_ref());
 }

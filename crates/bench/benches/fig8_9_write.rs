@@ -6,13 +6,23 @@
 //! check is: all Hyaline variants at or above Epoch, with the gap growing
 //! once threads exceed cores (oversubscription), HP slowest, and the
 //! Hyaline variants keeping the smallest unreclaimed counts.
+//!
+//! Pass `--record FILE.jsonl` to append one provenance-stamped JSONL
+//! record per measured cell (see `bench_harness::results`) from the same
+//! runs that fill the printed tables.
 
-use bench_harness::cli::BenchScale;
-use bench_harness::figures::throughput_figures;
+use bench_harness::cli::{cli_args, BenchScale};
+use bench_harness::figures::throughput_figures_recorded;
+use bench_harness::registry::FIGURE_SCHEMES;
+use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 use bench_harness::workload::OpMix;
 
 fn main() {
     let scale = BenchScale::from_env_and_args();
+    let record_path = bench::record_path_from(&cli_args());
+    let mut sink = record_path
+        .as_ref()
+        .map(|_| ResultSink::new(Provenance::detect(wall_clock_timestamp())));
     println!(
         "== Write-intensive workload, {} trial(s) x {:.2}s, prefill {} of {} keys ==\n",
         scale.base.trials, scale.base.secs, scale.base.prefill, scale.base.key_range
@@ -24,15 +34,18 @@ fn main() {
         ("Fig 8d", "Fig 9d", "nmtree"),
     ];
     for (fig_t, fig_u, structure) in panels {
-        let (tput, unrec) = throughput_figures(
+        let (tput, unrec) = throughput_figures_recorded(
             fig_t,
             fig_u,
             structure,
             OpMix::WriteIntensive,
             &scale.threads,
             &scale.base,
+            FIGURE_SCHEMES,
+            sink.as_mut(),
         );
         println!("{tput}");
         println!("{unrec}");
     }
+    bench::flush_records(record_path.as_deref(), sink.as_ref());
 }

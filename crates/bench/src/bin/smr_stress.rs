@@ -3,16 +3,22 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin smr_stress -- \
-//!     --scheme Hyaline --structure hashmap --secs 1 --threads 8
+//!     --scheme Hyaline --structure hashmap --secs 1 --threads 8 \
+//!     [--record BENCH_stress.jsonl]
 //! ```
 
-use bench_harness::cli::BenchScale;
-use bench_harness::registry::{run_combo, ALL_SCHEMES, STRUCTURES};
+use bench_harness::cli::{cli_args, BenchScale};
+use bench_harness::registry::{run_combo_recorded, ALL_SCHEMES, STRUCTURES};
+use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 use bench_harness::workload::OpMix;
 
 fn main() {
     let scale = BenchScale::from_env_and_args();
-    let args: Vec<String> = std::env::args().collect();
+    let args = cli_args();
+    let record_path = bench::record_path_from(&args);
+    let mut sink = record_path
+        .as_ref()
+        .map(|_| ResultSink::new(Provenance::detect(wall_clock_timestamp())));
     let mut scheme = "Hyaline".to_string();
     let mut structure = "hashmap".to_string();
     let mut mix = OpMix::WriteIntensive;
@@ -50,7 +56,9 @@ fn main() {
             mix,
             ..scale.base.clone()
         };
-        match run_combo(&scheme, &structure, &params) {
+        let mut sink_ref = sink.as_mut();
+        match run_combo_recorded("smr_stress", &scheme, &scheme, &structure, &params, &mut sink_ref)
+        {
             Some(r) => println!(
                 "{scheme:>10} {structure:>8} t={threads:<3} {:.4} Mops/s, unreclaimed {:.1}, ops {}, retired {}, freed {}",
                 r.mops, r.avg_unreclaimed, r.ops, r.retired, r.freed
@@ -58,4 +66,5 @@ fn main() {
             None => println!("{scheme:>10} {structure:>8} t={threads:<3} unsupported"),
         }
     }
+    bench::flush_records(record_path.as_deref(), sink.as_ref());
 }

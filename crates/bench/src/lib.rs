@@ -3,6 +3,60 @@
 //! Every table and figure of the paper's evaluation has a bench target
 //! (`cargo bench -p bench --bench <name>`); see `DESIGN.md`'s
 //! per-experiment index for the mapping. All targets accept the scale
-//! flags documented in [`bench_harness::cli`].
+//! flags documented in [`bench_harness::cli`], and the figure drivers
+//! additionally accept `--record FILE.jsonl` to append provenance-stamped
+//! [`bench_harness::results`] records from the same measured runs.
+
+use std::path::{Path, PathBuf};
 
 pub use bench_harness;
+
+use bench_harness::results::ResultSink;
+
+/// Extracts the `--record FILE` flag from already-separated benchmark
+/// arguments (see [`bench_harness::cli::cli_args`]). Returns `None` when
+/// recording was not requested; exits with an error when the flag is
+/// present but valueless.
+pub fn record_path_from(args: &[String]) -> Option<PathBuf> {
+    let i = args.iter().position(|a| a == "--record")?;
+    match args.get(i + 1) {
+        Some(path) => Some(PathBuf::from(path)),
+        None => {
+            eprintln!("error: --record is missing its file argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Appends a sink's accumulated records to `path` (both `None` when
+/// recording is off), reporting the outcome on stdout/stderr.
+pub fn flush_records(path: Option<&Path>, sink: Option<&ResultSink>) {
+    let (Some(path), Some(sink)) = (path, sink) else {
+        return;
+    };
+    match sink.append_to(path) {
+        Ok(n) => println!("appended {n} records to {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn record_flag_extraction() {
+        assert_eq!(record_path_from(&strings(&["--secs", "1"])), None);
+        assert_eq!(
+            record_path_from(&strings(&["--secs", "1", "--record", "x.jsonl"])),
+            Some(PathBuf::from("x.jsonl"))
+        );
+    }
+}
