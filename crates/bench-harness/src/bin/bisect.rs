@@ -34,6 +34,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--prefill",
     "--key-range",
     "--threads",
+    "--slots",
+    "--shards",
+    "--routing",
+    "--handle-churn",
+    "--max-threads",
 ];
 
 /// Flags that stand alone.
@@ -141,8 +146,10 @@ fn main() {
     // this block is what makes the failure replayable.
     println!(
         "bisect: {scheme}/{structure} threads={threads} stalled={stalled} mix={} \
-         use_trim={use_trim} secs={} trials={} prefill={} key_range={} seed={:#x}",
+         use_trim={use_trim} handle_churn={} secs={} trials={} prefill={} key_range={} \
+         seed={:#x}",
         mix.short_label(),
+        params.handle_churn,
         params.secs,
         params.trials,
         params.prefill,

@@ -5,13 +5,18 @@
 //! cargo run -p bench-harness --bin perfgate -- \
 //!     baseline.jsonl candidate.jsonl \
 //!     [--tolerance 0.10] [--unreclaimed-tolerance 0.50] \
-//!     [--unreclaimed-slack 64] [--warn-only]
+//!     [--unreclaimed-slack 64] [--warn-only] [--require-overlap]
 //! ```
 //!
 //! Exit codes: `0` pass (or `--warn-only`), `1` at least one metric of one
 //! configuration regressed, `2` usage or I/O error. Identical files always
 //! pass. Configurations present in only one file are reported but never
-//! fail the gate, so coverage can grow over time.
+//! fail the gate, so coverage can grow over time — unless
+//! `--require-overlap` is set, in which case every baseline configuration
+//! must actually be compared: zero comparisons, or baseline combos missing
+//! from the candidate, are themselves failures (a blocking gate must not
+//! pass because a flag or host default silently changed the keys of
+//! exactly the combos that regressed).
 
 use bench_harness::cli::cli_args;
 use bench_harness::gate::{compare, Tolerance};
@@ -22,7 +27,8 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("perfgate: error: {msg}");
     eprintln!(
         "usage: perfgate <baseline.jsonl> <candidate.jsonl> [--tolerance F] \
-         [--unreclaimed-tolerance F] [--unreclaimed-slack F] [--warn-only]"
+         [--unreclaimed-tolerance F] [--unreclaimed-slack F] [--warn-only] \
+         [--require-overlap]"
     );
     std::process::exit(2);
 }
@@ -32,6 +38,7 @@ fn main() {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut tol = Tolerance::default();
     let mut warn_only = false;
+    let mut require_overlap = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -61,6 +68,10 @@ fn main() {
             }
             "--warn-only" => {
                 warn_only = true;
+                i += 1;
+            }
+            "--require-overlap" => {
+                require_overlap = true;
                 i += 1;
             }
             flag if flag.starts_with("--") => {
@@ -108,6 +119,24 @@ fn main() {
              (same host defaults, same flags); re-record the baseline with the \
              candidate's sweep command if this is unexpected"
         );
+    }
+    // A blocking gate must compare every baseline combo: empty files,
+    // disjoint keys, or a partially vanished overlap (one key parameter
+    // drifting for a subset of runs) all mean the combos that could have
+    // regressed were silently skipped.
+    if require_overlap && !warn_only {
+        if report.comparisons.is_empty() {
+            eprintln!("perfgate: FAIL — --require-overlap set and nothing was compared");
+            std::process::exit(1);
+        }
+        if !report.only_in_baseline.is_empty() {
+            eprintln!(
+                "perfgate: FAIL — --require-overlap set and {} baseline \
+                 configuration(s) have no candidate counterpart",
+                report.only_in_baseline.len()
+            );
+            std::process::exit(1);
+        }
     }
 
     if report.has_regression() {

@@ -18,7 +18,7 @@
 
 use bench_harness::cli::{cli_args, BenchScale};
 use bench_harness::figures::{robustness_figure_recorded, throughput_figures_recorded};
-use bench_harness::registry::{FIGURE_SCHEMES, STRUCTURES};
+use bench_harness::registry::{ALL_SCHEMES, FIGURE_SCHEMES, STRUCTURES};
 use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 use bench_harness::workload::OpMix;
 use std::path::PathBuf;
@@ -28,6 +28,9 @@ enum Sweep {
     ThreadScaling,
     Oversubscription,
     Robustness,
+    /// Task-per-core pattern: workers far outnumber the registry budget and
+    /// draw handles from a shared pool every few operations.
+    HandleChurn,
 }
 
 impl Sweep {
@@ -36,6 +39,7 @@ impl Sweep {
             "thread-scaling" => Some(Self::ThreadScaling),
             "oversubscription" => Some(Self::Oversubscription),
             "robustness" => Some(Self::Robustness),
+            "handle-churn" => Some(Self::HandleChurn),
             _ => None,
         }
     }
@@ -44,9 +48,12 @@ impl Sweep {
 fn usage_error(msg: &str) -> ! {
     eprintln!("sweep: error: {msg}");
     eprintln!(
-        "usage: sweep [--out FILE] [--sweeps thread-scaling,oversubscription,robustness] \
-         [--structures hashmap,... | all] [--schemes Hyaline,...] \
-         [--mix write-intensive|read-mostly] [bench scale flags]"
+        "usage: sweep [--out FILE] \
+         [--sweeps thread-scaling,oversubscription,robustness,handle-churn] \
+         [--structures hashmap,... | all] [--schemes Hyaline,Sharded-Hyaline,...] \
+         [--mix write-intensive|read-mostly] \
+         [bench scale flags: --secs --trials --threads --slots --shards \
+         --handle-churn --max-threads ...]"
     );
     std::process::exit(2);
 }
@@ -100,8 +107,8 @@ fn main() {
             "--schemes" => {
                 schemes = value(i).split(',').map(|s| s.trim().to_string()).collect();
                 for s in &schemes {
-                    if !FIGURE_SCHEMES.contains(&s.as_str()) {
-                        usage_error(&format!("unknown scheme `{s}`; known: {FIGURE_SCHEMES:?}"));
+                    if !ALL_SCHEMES.contains(&s.as_str()) {
+                        usage_error(&format!("unknown scheme `{s}`; known: {ALL_SCHEMES:?}"));
                     }
                 }
                 i += 2;
@@ -155,6 +162,37 @@ fn main() {
                         mix,
                         &threads,
                         &scale.base,
+                        &scheme_refs,
+                        Some(&mut sink),
+                    );
+                    println!("{tput}");
+                    println!("{unrec}");
+                }
+            }
+            Sweep::HandleChurn => {
+                // Workers draw pooled handles (capacity = max_threads) and
+                // return them every `handle_churn` ops. Thread points come
+                // from --threads and the registry budget from
+                // --max-threads, so keys stay host-independent; pass
+                // --max-threads below the thread counts to force the
+                // oversubscribed park-and-reuse regime.
+                let mut base = scale.base.clone();
+                if base.handle_churn == 0 {
+                    base.handle_churn = 64;
+                }
+                let threads = scale.threads.clone();
+                println!(
+                    "== handle-churn: {} ops/checkout, pool capacity {} ==\n",
+                    base.handle_churn, base.config.max_threads
+                );
+                for structure in &structures {
+                    let (tput, unrec) = throughput_figures_recorded(
+                        "handle-churn",
+                        "handle-churn (unreclaimed)",
+                        structure,
+                        mix,
+                        &threads,
+                        &base,
                         &scheme_refs,
                         Some(&mut sink),
                     );

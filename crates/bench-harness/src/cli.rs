@@ -2,7 +2,19 @@
 //!
 //! Benchmarks read their scale from (in priority order) command-line flags
 //! after `--`, then `HYALINE_BENCH_*` environment variables, then scaled
-//! defaults. The paper's full-scale parameters (10 s runs, 5 trials, 50 000
+//! defaults. Besides the workload scale, the reclamation layout is
+//! settable: `--slots`/`--shards` (powers of two; `HYALINE_BENCH_SLOTS`,
+//! `HYALINE_BENCH_SHARDS`) pin the slot budget and shard count so runs on
+//! hosts with different core counts produce comparable perf-gate keys,
+//! `--routing by-key|by-pointer` (`HYALINE_BENCH_ROUTING`) selects the
+//! sharded routing mode,
+//! `--handle-churn N` (`HYALINE_BENCH_HANDLE_CHURN`) makes workers return
+//! their handles to a shared pool every `N` operations, and
+//! `--max-threads N` (`HYALINE_BENCH_MAX_THREADS`) pins the registry/pool
+//! capacity (set it below the thread count to exercise oversubscribed
+//! pooling with host-independent perf-gate keys).
+//!
+//! The paper's full-scale parameters (10 s runs, 5 trials, 50 000
 //! prefill over 100 000 keys, threads up to 144) are reachable via:
 //!
 //! ```text
@@ -20,7 +32,7 @@
 //! silently dropped: each one produces a warning on stderr and the previous
 //! (environment or default) value is kept.
 
-use smr_core::SmrConfig;
+use smr_core::{ShardRouting, SmrConfig};
 
 use crate::driver::BenchParams;
 
@@ -47,6 +59,16 @@ fn own_args(argv: Vec<String>) -> Vec<String> {
         Some(sep) => argv[sep + 1..].to_vec(),
         None => argv.into_iter().skip(1).collect(),
     }
+}
+
+/// Parses a power-of-two count (slot and shard layouts require one).
+fn parse_pow2(raw: &str) -> Option<usize> {
+    raw.parse().ok().filter(|v: &usize| v.is_power_of_two())
+}
+
+/// Parses a nonzero count (registry/pool capacities must not be zero).
+fn parse_nonzero(raw: &str) -> Option<usize> {
+    raw.parse().ok().filter(|v: &usize| *v > 0)
 }
 
 /// Parses a comma-separated list of counts, rejecting the whole value if
@@ -118,27 +140,46 @@ impl BenchScale {
     /// per variable that is set but malformed.
     pub fn apply_env(&mut self) -> Vec<String> {
         let mut warnings = Vec::new();
-        let mut scalar = |name: &str, apply: &mut dyn FnMut(&str) -> bool| {
+        let mut scalar = |name: &str, expect: &str, apply: &mut dyn FnMut(&str) -> bool| {
             if let Ok(raw) = std::env::var(name) {
                 if !apply(&raw) {
-                    warnings.push(format!("ignoring {name}={raw}: not a valid number"));
+                    warnings.push(format!("ignoring {name}={raw}: expected {expect}"));
                 }
             }
         };
-        scalar("HYALINE_BENCH_SECS", &mut |raw| {
+        scalar("HYALINE_BENCH_SECS", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.secs = v).is_ok()
         });
-        scalar("HYALINE_BENCH_TRIALS", &mut |raw| {
+        scalar("HYALINE_BENCH_TRIALS", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.trials = v).is_ok()
         });
-        scalar("HYALINE_BENCH_PREFILL", &mut |raw| {
+        scalar("HYALINE_BENCH_PREFILL", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.prefill = v).is_ok()
         });
-        scalar("HYALINE_BENCH_KEY_RANGE", &mut |raw| {
+        scalar("HYALINE_BENCH_KEY_RANGE", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.key_range = v).is_ok()
         });
-        scalar("HYALINE_BENCH_ACK_THRESHOLD", &mut |raw| {
+        scalar("HYALINE_BENCH_ACK_THRESHOLD", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.config.ack_threshold = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_SLOTS", "a power of two", &mut |raw| {
+            parse_pow2(raw).map(|v| self.base.config.slots = v).is_some()
+        });
+        scalar("HYALINE_BENCH_SHARDS", "a power of two", &mut |raw| {
+            parse_pow2(raw).map(|v| self.base.config.shards = v).is_some()
+        });
+        scalar("HYALINE_BENCH_HANDLE_CHURN", "a number", &mut |raw| {
+            raw.parse().map(|v| self.base.handle_churn = v).is_ok()
+        });
+        scalar("HYALINE_BENCH_MAX_THREADS", "a nonzero count", &mut |raw| {
+            parse_nonzero(raw)
+                .map(|v| self.base.config.max_threads = v)
+                .is_some()
+        });
+        scalar("HYALINE_BENCH_ROUTING", "by-key or by-pointer", &mut |raw| {
+            ShardRouting::from_short_label(raw)
+                .map(|v| self.base.config.routing = v)
+                .is_some()
         });
         let mut list = |name: &str, apply: &mut dyn FnMut(Vec<usize>)| {
             if let Ok(raw) = std::env::var(name) {
@@ -165,7 +206,17 @@ impl BenchScale {
             let flag = args[i].as_str();
             let known = matches!(
                 flag,
-                "--secs" | "--trials" | "--prefill" | "--key-range" | "--threads" | "--stalled"
+                "--secs"
+                    | "--trials"
+                    | "--prefill"
+                    | "--key-range"
+                    | "--threads"
+                    | "--stalled"
+                    | "--slots"
+                    | "--shards"
+                    | "--routing"
+                    | "--handle-churn"
+                    | "--max-threads"
             );
             if !known {
                 i += 1;
@@ -177,6 +228,15 @@ impl BenchScale {
             };
             let ok = match flag {
                 "--secs" => raw.parse().map(|v| self.base.secs = v).is_ok(),
+                "--slots" => parse_pow2(raw).map(|v| self.base.config.slots = v).is_some(),
+                "--shards" => parse_pow2(raw).map(|v| self.base.config.shards = v).is_some(),
+                "--routing" => ShardRouting::from_short_label(raw)
+                    .map(|v| self.base.config.routing = v)
+                    .is_some(),
+                "--handle-churn" => raw.parse().map(|v| self.base.handle_churn = v).is_ok(),
+                "--max-threads" => parse_nonzero(raw)
+                    .map(|v| self.base.config.max_threads = v)
+                    .is_some(),
                 "--trials" => raw.parse().map(|v| self.base.trials = v).is_ok(),
                 "--prefill" => raw.parse().map(|v| self.base.prefill = v).is_ok(),
                 "--key-range" => raw.parse().map(|v| self.base.key_range = v).is_ok(),
@@ -199,7 +259,14 @@ impl BenchScale {
                 _ => unreachable!(),
             };
             if !ok {
-                warnings.push(format!("ignoring {flag} {raw}: not a valid value"));
+                let expect = match flag {
+                    "--slots" | "--shards" => "a power of two",
+                    "--routing" => "by-key or by-pointer",
+                    "--max-threads" => "a nonzero count",
+                    "--threads" | "--stalled" => "a comma-separated list of counts",
+                    _ => "a number",
+                };
+                warnings.push(format!("ignoring {flag} {raw}: expected {expect}"));
             }
             i += 2;
         }
@@ -273,6 +340,23 @@ mod tests {
         assert!(warnings[2].contains("missing its value"), "{warnings:?}");
         assert_eq!(scale.threads, default_threads);
         assert_eq!(scale.base.secs, 0.25);
+    }
+
+    #[test]
+    fn layout_flags_set_config_and_reject_non_powers_of_two() {
+        let mut scale = BenchScale::default();
+        let warnings = scale.apply_args(&strings(&[
+            "--slots", "64", "--shards", "8", "--handle-churn", "32",
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(scale.base.config.slots, 64);
+        assert_eq!(scale.base.config.shards, 8);
+        assert_eq!(scale.base.handle_churn, 32);
+        let default_slots = scale.base.config.slots;
+        let warnings = scale.apply_args(&strings(&["--slots", "6", "--shards", "0"]));
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert_eq!(scale.base.config.slots, default_slots);
+        assert_eq!(scale.base.config.shards, 8);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (Figure 10b).
 
 use lockfree_ds::ConcurrentMap;
-use smr_core::{Smr, SmrConfig, SmrHandle};
+use smr_core::{HandlePool, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -43,6 +43,12 @@ pub struct BenchParams {
     /// Operations between forced `leave`/`enter` when trimming (bounds the
     /// retirement list length, as §3.3 requires).
     pub trim_window: u64,
+    /// Handle-churn workload: when nonzero, workers draw their handles from
+    /// a shared [`HandlePool`] capped at `config.max_threads` and return
+    /// them every `handle_churn` operations — the task-per-core pattern
+    /// where short-lived tasks far outnumber registry slots. `0` keeps the
+    /// classic one-handle-per-thread loop.
+    pub handle_churn: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for BenchParams {
             sample_every: 128,
             use_trim: false,
             trim_window: 64,
+            handle_churn: 0,
             seed: 0x5EED,
         }
     }
@@ -128,9 +135,21 @@ where
 
     let stop = AtomicBool::new(false);
     let start_barrier = Barrier::new(params.threads + params.stalled + 1);
+    // Handle-churn mode: workers take turns on a pool capped at the
+    // registry budget (minus the stalled threads' own handles), so more
+    // tasks than `max_threads` run without exhausting registry schemes.
+    let pool = (params.handle_churn > 0).then(|| {
+        let cap = params
+            .config
+            .max_threads
+            .saturating_sub(params.stalled)
+            .max(1);
+        HandlePool::new(map.domain(), cap)
+    });
     let map_ref = &map;
     let stop_ref = &stop;
     let barrier_ref = &start_barrier;
+    let pool_ref = pool.as_ref();
 
     struct ThreadOut {
         ops: u64,
@@ -138,12 +157,25 @@ where
         samples: u64,
     }
 
+    // Create every direct handle up front, before any thread exists
+    // (handles are Send): a registry-exhaustion panic then propagates
+    // cleanly from here instead of stranding already-spawned threads at
+    // the start barrier forever.
+    let mut premade_workers = (0..params.threads)
+        .map(|_| (params.handle_churn == 0).then(|| map_ref.handle()))
+        .collect::<Vec<_>>()
+        .into_iter();
+    let mut premade_stalled = (0..params.stalled)
+        .map(|_| map_ref.handle())
+        .collect::<Vec<_>>()
+        .into_iter();
+
     let (total_ops, sample_sum, samples) = std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(params.threads);
         for t in 0..params.threads {
             let params = params.clone();
+            let premade_handle = premade_workers.next().expect("one premade slot per worker");
             workers.push(scope.spawn(move || {
-                let mut h = map_ref.handle();
                 let mut stream = OpStream::new(
                     params.mix,
                     params.key_range,
@@ -155,30 +187,80 @@ where
                     sample_sum: 0,
                     samples: 0,
                 };
+                let mut one_op = |h: &mut _, out: &mut ThreadOut| {
+                    let (op, key) = stream.next_op();
+                    match op {
+                        Op::Get => {
+                            map_ref.map_get(h, key);
+                        }
+                        Op::Insert => {
+                            map_ref.map_insert(h, key, key);
+                        }
+                        Op::Remove => {
+                            map_ref.map_remove(h, key);
+                        }
+                    }
+                    out.ops += 1;
+                    if out.ops.is_multiple_of(params.sample_every) {
+                        // Load-only estimate: sampling must not introduce
+                        // shared-cache-line writes into the measured run.
+                        out.sample_sum += map_ref.domain().unreclaimed_estimate();
+                        out.samples += 1;
+                    }
+                };
+                if let Some(pool) = pool_ref {
+                    // Task-per-checkout loop: each slice of `handle_churn`
+                    // operations models one short-lived task borrowing a
+                    // pooled handle and parking it again. Trim mode keeps
+                    // its semantics per slice — one reservation window,
+                    // §3.3 trims between operations, a forced leave every
+                    // `trim_window` — so the recorded `use_trim` provenance
+                    // stays truthful under churn.
+                    barrier_ref.wait();
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let mut h = pool.checkout();
+                        if params.use_trim {
+                            h.enter();
+                        }
+                        for _ in 0..params.handle_churn {
+                            if stop_ref.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if !params.use_trim {
+                                h.enter();
+                            }
+                            one_op(&mut h, &mut out);
+                            if params.use_trim {
+                                if out.ops.is_multiple_of(params.trim_window) {
+                                    h.leave();
+                                    h.enter();
+                                } else {
+                                    h.trim();
+                                }
+                            } else {
+                                h.leave();
+                            }
+                        }
+                        if params.use_trim {
+                            h.leave();
+                        }
+                    } // guard drop flushes + parks the handle
+                    return out;
+                }
+                let mut h = premade_handle.expect("direct handle premade for non-churn mode");
                 barrier_ref.wait();
                 if params.use_trim {
                     h.enter();
                 }
                 while !stop_ref.load(Ordering::Relaxed) {
-                    let (op, key) = stream.next_op();
                     if !params.use_trim {
                         h.enter();
                     }
-                    match op {
-                        Op::Get => {
-                            map_ref.map_get(&mut h, key);
-                        }
-                        Op::Insert => {
-                            map_ref.map_insert(&mut h, key, key);
-                        }
-                        Op::Remove => {
-                            map_ref.map_remove(&mut h, key);
-                        }
-                    }
+                    one_op(&mut h, &mut out);
                     if params.use_trim {
                         // §3.3: trim in lieu of leave+enter, with a bounded
                         // window forcing a real leave periodically.
-                        if out.ops % params.trim_window == params.trim_window - 1 {
+                        if out.ops.is_multiple_of(params.trim_window) {
                             h.leave();
                             h.enter();
                         } else {
@@ -186,11 +268,6 @@ where
                         }
                     } else {
                         h.leave();
-                    }
-                    out.ops += 1;
-                    if out.ops.is_multiple_of(params.sample_every) {
-                        out.sample_sum += map_ref.stats().unreclaimed();
-                        out.samples += 1;
                     }
                 }
                 if params.use_trim {
@@ -205,8 +282,8 @@ where
         let mut stalled = Vec::with_capacity(params.stalled);
         for t in 0..params.stalled {
             let params = params.clone();
+            let mut h = premade_stalled.next().expect("one premade handle per stalled thread");
             stalled.push(scope.spawn(move || {
-                let mut h = map_ref.handle();
                 let mut stream = OpStream::new(
                     params.mix,
                     params.key_range,
@@ -338,6 +415,33 @@ mod tests {
         let mut p = quick_params();
         p.use_trim = true;
         let r = run_bench::<Hyaline<_>, MichaelHashMap<u64, u64, _>>(&p);
+        assert!(r.ops > 0);
+    }
+
+    #[test]
+    fn handle_churn_pools_more_tasks_than_registry_slots() {
+        // 8 workers over a 2-handle registry: without the pool, EBR's
+        // registry would panic on the third concurrent handle.
+        let mut p = quick_params();
+        p.threads = 8;
+        p.handle_churn = 16;
+        p.config.max_threads = 2;
+        let r = run_bench::<Ebr<_>, MichaelHashMap<u64, u64, _>>(&p);
+        assert!(r.ops > 0, "pooled workers did no work");
+        // And the pooled path reclaims: retired nodes get freed.
+        assert!(r.freed > 0, "no reclamation through pooled handles");
+    }
+
+    #[test]
+    fn handle_churn_runs_on_sharded_domains() {
+        use smr_core::Sharded;
+        let mut p = quick_params();
+        p.threads = 4;
+        p.handle_churn = 8;
+        p.config.max_threads = 2;
+        p.config.shards = 2;
+        p.config.slots = 8;
+        let r = run_bench::<Sharded<Hyaline<_>>, MichaelHashMap<u64, u64, _>>(&p);
         assert!(r.ops > 0);
     }
 }

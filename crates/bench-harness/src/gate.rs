@@ -91,6 +91,12 @@ pub struct ComboKey {
     pub adaptive: bool,
     /// `SmrConfig`: registry capacity.
     pub max_threads: u64,
+    /// `SmrConfig`: shard count (1 = unsharded).
+    pub shards: u64,
+    /// Operations per pooled-handle checkout (0 = no handle churn).
+    pub handle_churn: u64,
+    /// Shard routing mode label ("by-key" / "by-pointer").
+    pub routing: String,
 }
 
 impl ComboKey {
@@ -116,6 +122,9 @@ impl ComboKey {
             ack_threshold: r.ack_threshold,
             adaptive: r.adaptive,
             max_threads: r.max_threads,
+            shards: r.shards,
+            handle_churn: r.handle_churn,
+            routing: r.routing.clone(),
         }
     }
 }
@@ -135,6 +144,12 @@ impl fmt::Display for ComboKey {
         }
         // Enough of the configuration to tell colliding-looking lines
         // apart; the JSONL files hold the rest.
+        if self.shards > 1 {
+            write!(f, " shards={} routing={}", self.shards, self.routing)?;
+        }
+        if self.handle_churn > 0 {
+            write!(f, " churn={}", self.handle_churn)?;
+        }
         write!(
             f,
             " [secs={} range={} slots={}{}]",
@@ -476,6 +491,23 @@ mod tests {
         let report = compare(&[a.clone(), c.clone()], &[a, c], Tolerance::default());
         assert_eq!(report.comparisons.len(), 2);
         assert!(!report.has_regression());
+    }
+
+    #[test]
+    fn sharded_and_churn_configs_key_separately() {
+        // A sharded run and a handle-churn run of the same scheme must not
+        // be averaged with (or compared against) the plain configuration.
+        let plain = record("Hyaline", 4, 10.0, 0.0);
+        let mut sharded = record("Hyaline", 4, 14.0, 0.0);
+        sharded.shards = 4;
+        let mut churn = record("Hyaline", 4, 6.0, 0.0);
+        churn.handle_churn = 32;
+        let file = vec![plain, sharded.clone(), churn];
+        let report = compare(&file, &file, Tolerance::default());
+        assert_eq!(report.comparisons.len(), 3);
+        assert!(!report.has_regression());
+        let line = ComboKey::of(&sharded).to_string();
+        assert!(line.contains("shards=4"), "{line}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
 use lockfree_ds::{BonsaiTree, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree};
 use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
+use smr_core::Sharded;
 
 use crate::driver::{run_bench, BenchParams, RunResult};
 use crate::results::ResultSink;
@@ -21,7 +22,10 @@ pub const FIGURE_SCHEMES: &[&str] = &[
     "HP",
 ];
 
-/// All schemes available in the registry (figures plus the LFRC ablation).
+/// All schemes available in the registry: the figure set, the LFRC
+/// ablation, and the sharded-domain variants (`SmrConfig::shards` selects
+/// the shard count; `1` makes them behave like the plain scheme behind the
+/// adapter).
 pub const ALL_SCHEMES: &[&str] = &[
     "Leaky",
     "Epoch",
@@ -33,6 +37,9 @@ pub const ALL_SCHEMES: &[&str] = &[
     "HE",
     "HP",
     "LFRC",
+    "Sharded-Hyaline",
+    "Sharded-Hyaline-S",
+    "Sharded-Epoch",
 ];
 
 /// The benchmark structures, matching the paper's four sub-figures.
@@ -48,7 +55,7 @@ pub const STRUCTURES: &[&str] = &["list", "hashmap", "bonsai", "nmtree"];
 /// paper does not run it on any throughput figure.
 pub fn supports(scheme: &str, structure: &str) -> bool {
     if structure == "bonsai" {
-        !matches!(scheme, "HP" | "HE" | "LFRC")
+        ALL_SCHEMES.contains(&scheme) && !matches!(scheme, "HP" | "HE" | "LFRC")
     } else {
         ALL_SCHEMES.contains(&scheme) && STRUCTURES.contains(&structure)
     }
@@ -86,6 +93,12 @@ pub fn run_combo(scheme: &str, structure: &str, params: &BenchParams) -> Option<
         "HE" => on_structures!(He<_>),
         "HP" => on_structures!(Hp<_>),
         "LFRC" => on_structures!(Lfrc<_>),
+        // Sharded-domain variants: `params.config.shards` inner domains
+        // behind the `Sharded` adapter (ByKey routing; the hash map routes
+        // per bucket group, the other structures stay in shard 0).
+        "Sharded-Hyaline" => on_structures!(Sharded<Hyaline<_>>),
+        "Sharded-Hyaline-S" => on_structures!(Sharded<HyalineS<_>>),
+        "Sharded-Epoch" => on_structures!(Sharded<Ebr<_>>),
         _ => None,
     }
 }

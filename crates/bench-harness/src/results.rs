@@ -22,7 +22,11 @@ use std::path::Path;
 use crate::driver::{BenchParams, RunResult};
 
 /// Version stamp written into every record (`"schema"` field).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added `shards`, `handle_churn` and `routing`; version-1 lines
+/// decode with the pre-sharding defaults (`shards = 1`, `handle_churn = 0`,
+/// `routing = "by-key"`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One benchmark measurement with full configuration provenance.
 ///
@@ -77,6 +81,17 @@ pub struct BenchRecord {
     pub adaptive: bool,
     /// Thread-registry capacity.
     pub max_threads: u64,
+    /// Shard count *as configured* (`1` = unsharded). Recorded verbatim
+    /// from the run's `SmrConfig`: plain schemes ignore the knob, but the
+    /// gate keys on the full configuration, so a sweep that sets `--shards`
+    /// stamps every record it produces.
+    pub shards: u64,
+    /// Operations per pooled-handle checkout (`0` = one handle per thread
+    /// for the whole run).
+    pub handle_churn: u64,
+    /// Shard routing mode as configured (`"by-key"` / `"by-pointer"`;
+    /// meaningful only to `Sharded-*` schemes, recorded verbatim).
+    pub routing: String,
     /// Git revision the binary was built from, if discoverable.
     pub git_sha: Option<String>,
     /// `available_parallelism` of the measuring host.
@@ -172,6 +187,9 @@ impl BenchRecord {
             ack_threshold: params.config.ack_threshold,
             adaptive: params.config.adaptive,
             max_threads: params.config.max_threads as u64,
+            shards: params.config.shards as u64,
+            handle_churn: params.handle_churn,
+            routing: params.config.routing.short_label().to_string(),
             git_sha: prov.git_sha.clone(),
             host_cores: prov.host_cores,
             timestamp: prov.timestamp.clone(),
@@ -210,6 +228,9 @@ impl BenchRecord {
         push_i64(&mut s, "ack_threshold", self.ack_threshold);
         push_bool(&mut s, "adaptive", self.adaptive);
         push_u64(&mut s, "max_threads", self.max_threads);
+        push_u64(&mut s, "shards", self.shards);
+        push_u64(&mut s, "handle_churn", self.handle_churn);
+        push_str(&mut s, "routing", &self.routing);
         match &self.git_sha {
             Some(sha) => push_str(&mut s, "git_sha", sha),
             None => push_null(&mut s, "git_sha"),
@@ -247,6 +268,16 @@ impl BenchRecord {
         let get_f64 = |name: &str| get(name).and_then(|v| v.as_f64(name));
         let get_str = |name: &str| get(name).and_then(|v| v.as_str(name));
         let get_bool = |name: &str| get(name).and_then(|v| v.as_bool(name));
+        // Fields added after schema 1 fall back to their historical
+        // implicit values so old baselines keep decoding.
+        let get_u64_or = |name: &str, default: u64| match get(name) {
+            Ok(v) => v.as_u64(name),
+            Err(_) => Ok(default),
+        };
+        let get_str_or = |name: &str, default: &str| match get(name) {
+            Ok(v) => v.as_str(name),
+            Err(_) => Ok(default.to_string()),
+        };
         let git_sha = match get("git_sha")? {
             Json::Null => None,
             v => Some(v.as_str("git_sha")?),
@@ -275,6 +306,9 @@ impl BenchRecord {
             ack_threshold: get_i64("ack_threshold")?,
             adaptive: get_bool("adaptive")?,
             max_threads: get_u64("max_threads")?,
+            shards: get_u64_or("shards", 1)?,
+            handle_churn: get_u64_or("handle_churn", 0)?,
+            routing: get_str_or("routing", "by-key")?,
             git_sha,
             host_cores: get_u64("host_cores")?,
             timestamp: get_str("timestamp")?,
@@ -731,6 +765,23 @@ mod tests {
         assert!(BenchRecord::decode(&line).is_ok());
         let err = BenchRecord::decode("{\"schema\":1}").unwrap_err();
         assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn schema_one_lines_decode_with_presharding_defaults() {
+        // A record written before `shards`/`handle_churn` existed (as in
+        // the committed seed baseline) must decode with the implicit
+        // single-shard, no-churn values.
+        let mut line = sample_record().encode();
+        line = line
+            .replace("\"shards\":1,", "")
+            .replace("\"handle_churn\":0,", "")
+            .replace("\"routing\":\"by-key\",", "");
+        assert!(!line.contains("shards"));
+        let back = BenchRecord::decode(&line).expect("schema-1 line decodes");
+        assert_eq!(back.shards, 1);
+        assert_eq!(back.handle_churn, 0);
+        assert_eq!(back.routing, "by-key");
     }
 
     #[test]

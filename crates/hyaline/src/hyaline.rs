@@ -83,6 +83,10 @@ impl<T: Send + 'static> Smr<T> for Hyaline<T> {
     type Handle<'d> = HyalineHandle<'d, T>;
 
     fn with_config(config: SmrConfig) -> Self {
+        // A config carrying a `shards` knob is meant for a `Sharded`
+        // consumer; one plain domain sizes its batches against its full
+        // slot count, never the per-shard quotient.
+        let config = config.as_single_shard();
         assert!(
             config.slots.is_power_of_two(),
             "Hyaline requires a power-of-two slot count"
@@ -129,6 +133,12 @@ impl<T: Send + 'static> Smr<T> for Hyaline<T> {
     fn supports_trim() -> bool {
         true
     }
+
+    fn shardable_by_pointer() -> bool {
+        // Protection is purely enter-scoped (slot reference counts; protect
+        // is a plain load) and alloc stamps no shard-local metadata.
+        true
+    }
 }
 
 impl<T: Send + 'static> Drop for Hyaline<T> {
@@ -155,6 +165,12 @@ pub struct HyalineHandle<'d, T: Send + 'static> {
     reap: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
 }
+
+// SAFETY: the raw pointers are exclusively owned retired/reaped nodes (the
+// local batch and reap list) plus the last-seen slot head, all usable from
+// whichever thread drives the handle next; the domain borrow is `Sync`.
+// Nothing is thread-affine, so a parked handle may move between tasks.
+unsafe impl<T: Send + 'static> Send for HyalineHandle<'_, T> {}
 
 impl<T: Send + 'static> std::fmt::Debug for HyalineHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -98,6 +98,12 @@ impl<T: Send + 'static> Smr<T> for Hyaline1<T> {
     fn supports_trim() -> bool {
         true
     }
+
+    fn shardable_by_pointer() -> bool {
+        // Like plain Hyaline: enter-scoped slot ownership, plain-load
+        // protect, no alloc-time metadata.
+        true
+    }
 }
 
 impl<T: Send + 'static> Drop for Hyaline1<T> {
@@ -122,6 +128,11 @@ pub struct Hyaline1Handle<'d, T: Send + 'static> {
     reap: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
 }
+
+// SAFETY: owned raw node pointers (local batch, reap list, slot head
+// snapshot) and a `Sync` domain borrow; no thread-affine state, so the
+// handle may be parked and re-issued to another task.
+unsafe impl<T: Send + 'static> Send for Hyaline1Handle<'_, T> {}
 
 impl<T: Send + 'static> std::fmt::Debug for Hyaline1Handle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -153,6 +153,12 @@ pub struct Hyaline1SHandle<'d, T: Send + 'static> {
     access_cache: u64,
 }
 
+// SAFETY: owned raw node pointers (local batch, reap list, slot head
+// snapshot) plus plain counters and a `Sync` domain borrow; the cached
+// access era is valid from any thread because this handle remains the
+// slot's only writer wherever it runs. Nothing is thread-affine.
+unsafe impl<T: Send + 'static> Send for Hyaline1SHandle<'_, T> {}
+
 impl<T: Send + 'static> std::fmt::Debug for Hyaline1SHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hyaline1SHandle")

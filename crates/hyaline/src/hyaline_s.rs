@@ -179,6 +179,11 @@ pub struct HyalineSHandle<'d, T: Send + 'static> {
     alloc_counter: u64,
 }
 
+// SAFETY: owned raw node pointers (local batch, reap list, slot head
+// snapshot) and a `Sync` domain borrow; no thread-affine state, so the
+// handle may be parked and re-issued to another task.
+unsafe impl<T: Send + 'static> Send for HyalineSHandle<'_, T> {}
+
 impl<T: Send + 'static> std::fmt::Debug for HyalineSHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HyalineSHandle")

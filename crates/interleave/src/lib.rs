@@ -47,7 +47,9 @@
 
 pub mod explorer;
 pub mod model;
+pub mod pool;
 pub mod scenarios;
 
 pub use explorer::{Explorer, Outcome, Violation};
 pub use model::{HyalineModel, ModelConfig, ThreadProgram, Variant};
+pub use pool::{PoolOp, PoolOutcome, PoolScenario, PoolViolation};

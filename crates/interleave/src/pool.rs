@@ -1,0 +1,348 @@
+//! Exhaustive interleaving exploration of the handle-pool protocol
+//! (`smr_core::HandlePool`): checkout / return racing `enter`/`leave`.
+//!
+//! The pool's state transitions are tiny — pop a parked handle or create
+//! one under the cap, park a handle and wake a waiter — but they race with
+//! the reservation lifecycle of the handle being exchanged. The property
+//! that matters is a happens-before edge: **a handle must only be parked
+//! after its `leave`**, otherwise the next task receives a handle whose
+//! reservation is still pinning reclamation (a "stalled thread" nobody can
+//! ever unstall, because the task that entered is gone).
+//!
+//! Like the Hyaline model in [`crate::model`], every transition is one
+//! atomic action under sequential consistency: pool operations are mutex
+//! sections in the real implementation (one atomic step relative to other
+//! pool operations), and `enter`/`leave` touch only the handle's domain
+//! state. The explorer runs every schedule of a small task set and checks:
+//!
+//! * **single holder** — a handle is never held by two tasks at once;
+//! * **cap respected** — at most `capacity` handles are ever created;
+//! * **no parked reservation** — a handle is inactive when parked (the
+//!   checkout/return vs. `leave` race, above);
+//! * **progress** — no reachable state deadlocks: blocked checkouts are
+//!   always eventually served (the model's condvar has no lost wakeups);
+//! * **quiescence** — when every task finished, all handles are parked and
+//!   inactive.
+
+/// One atomic step of a pool task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolOp {
+    /// Take a parked handle, or create one while under the cap; blocks
+    /// (transition disabled) when the pool is exhausted.
+    Checkout,
+    /// `enter` on the held handle (begin an operation / reservation).
+    Enter,
+    /// `leave` on the held handle (end the reservation).
+    Leave,
+    /// Park the held handle back into the pool.
+    Checkin,
+}
+
+/// A scenario: a pool capacity plus one program per task.
+#[derive(Debug, Clone)]
+pub struct PoolScenario {
+    /// Maximum handles the pool may ever create.
+    pub capacity: usize,
+    /// Per-task step sequences.
+    pub programs: Vec<Vec<PoolOp>>,
+    /// Human-readable description.
+    pub name: String,
+}
+
+impl PoolScenario {
+    /// `tasks` well-behaved tasks (`checkout → enter → leave → checkin`),
+    /// each repeated `rounds` times, over a pool of `capacity` handles.
+    pub fn round_trips(tasks: usize, rounds: usize, capacity: usize) -> Self {
+        let program: Vec<PoolOp> = (0..rounds)
+            .flat_map(|_| {
+                [
+                    PoolOp::Checkout,
+                    PoolOp::Enter,
+                    PoolOp::Leave,
+                    PoolOp::Checkin,
+                ]
+            })
+            .collect();
+        Self {
+            capacity,
+            programs: vec![program; tasks],
+            name: format!("pool_round_trips(tasks={tasks}, rounds={rounds}, cap={capacity})"),
+        }
+    }
+}
+
+/// A safety violation found under some schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolViolation {
+    /// What went wrong.
+    pub message: String,
+    /// The task indices scheduled, in order, up to the violating step.
+    pub schedule: Vec<usize>,
+}
+
+/// Result of exploring a [`PoolScenario`].
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// Complete schedules explored.
+    pub schedules: u64,
+    /// First violation encountered, if any.
+    pub violation: Option<PoolViolation>,
+    /// Whether the whole tree fit in the budget.
+    pub complete: bool,
+}
+
+#[derive(Clone)]
+struct PoolState {
+    /// Parked handle ids.
+    parked: Vec<usize>,
+    /// Handles created so far (ids are `0..issued`).
+    issued: usize,
+    /// `holder[h]`: task currently holding handle `h`.
+    holder: Vec<Option<usize>>,
+    /// `active[h]`: handle `h` is inside an operation (entered, not left).
+    active: Vec<bool>,
+    /// Per-task program counter and held handle.
+    pc: Vec<usize>,
+    held: Vec<Option<usize>>,
+}
+
+/// Explores every interleaving of `scenario` (up to `budget` complete
+/// schedules), checking the pool-protocol invariants at each step.
+pub fn explore(scenario: &PoolScenario, budget: u64) -> PoolOutcome {
+    let state = PoolState {
+        parked: Vec::new(),
+        issued: 0,
+        holder: Vec::new(),
+        active: Vec::new(),
+        pc: vec![0; scenario.programs.len()],
+        held: vec![None; scenario.programs.len()],
+    };
+    let mut outcome = PoolOutcome {
+        schedules: 0,
+        violation: None,
+        complete: true,
+    };
+    let mut schedule = Vec::new();
+    dfs(scenario, state, &mut schedule, &mut outcome, budget);
+    outcome
+}
+
+fn enabled(scenario: &PoolScenario, state: &PoolState, task: usize) -> bool {
+    let program = &scenario.programs[task];
+    match program.get(state.pc[task]) {
+        None => false,
+        // A blocked checkout is a disabled transition (condvar wait): it
+        // becomes enabled again the moment a handle is parked.
+        Some(PoolOp::Checkout) => {
+            !state.parked.is_empty() || state.issued < scenario.capacity
+        }
+        Some(_) => true,
+    }
+}
+
+fn step(
+    scenario: &PoolScenario,
+    state: &mut PoolState,
+    task: usize,
+    schedule: &[usize],
+) -> Result<(), PoolViolation> {
+    let fail = |message: String| PoolViolation {
+        message,
+        schedule: schedule.to_vec(),
+    };
+    let op = scenario.programs[task][state.pc[task]];
+    state.pc[task] += 1;
+    match op {
+        PoolOp::Checkout => {
+            if state.held[task].is_some() {
+                return Err(fail(format!(
+                    "task {task} checked out while already holding a handle"
+                )));
+            }
+            let handle = if let Some(h) = state.parked.pop() {
+                h
+            } else {
+                if state.issued >= scenario.capacity {
+                    return Err(fail(format!(
+                        "task {task} checkout ran while the pool was exhausted"
+                    )));
+                }
+                let h = state.issued;
+                state.issued += 1;
+                state.holder.push(None);
+                state.active.push(false);
+                h
+            };
+            if let Some(other) = state.holder[handle] {
+                return Err(fail(format!(
+                    "handle {handle} handed to task {task} while held by task {other}"
+                )));
+            }
+            if state.active[handle] {
+                return Err(fail(format!(
+                    "handle {handle} checked out by task {task} while still \
+                     inside an operation (parked before its leave)"
+                )));
+            }
+            state.holder[handle] = Some(task);
+            state.held[task] = Some(handle);
+        }
+        PoolOp::Enter => {
+            let handle = state.held[task]
+                .ok_or_else(|| fail(format!("task {task} entered without a handle")))?;
+            state.active[handle] = true;
+        }
+        PoolOp::Leave => {
+            let handle = state.held[task]
+                .ok_or_else(|| fail(format!("task {task} left without a handle")))?;
+            state.active[handle] = false;
+        }
+        PoolOp::Checkin => {
+            let handle = state.held[task]
+                .take()
+                .ok_or_else(|| fail(format!("task {task} checked in without a handle")))?;
+            if state.active[handle] {
+                return Err(fail(format!(
+                    "handle {handle} parked by task {task} while still inside \
+                     an operation: its reservation would pin reclamation forever"
+                )));
+            }
+            state.holder[handle] = None;
+            state.parked.push(handle);
+        }
+    }
+    Ok(())
+}
+
+fn dfs(
+    scenario: &PoolScenario,
+    state: PoolState,
+    schedule: &mut Vec<usize>,
+    outcome: &mut PoolOutcome,
+    budget: u64,
+) {
+    if outcome.violation.is_some() {
+        return;
+    }
+    if outcome.schedules >= budget {
+        outcome.complete = false;
+        return;
+    }
+    let tasks: Vec<usize> = (0..scenario.programs.len())
+        .filter(|&t| enabled(scenario, &state, t))
+        .collect();
+    if tasks.is_empty() {
+        let unfinished: Vec<usize> = (0..scenario.programs.len())
+            .filter(|&t| state.pc[t] < scenario.programs[t].len())
+            .collect();
+        if !unfinished.is_empty() {
+            outcome.violation = Some(PoolViolation {
+                message: format!("deadlock: tasks {unfinished:?} blocked forever"),
+                schedule: schedule.clone(),
+            });
+            return;
+        }
+        // Quiescence: everything parked, nothing active.
+        if state.parked.len() != state.issued {
+            outcome.violation = Some(PoolViolation {
+                message: format!(
+                    "leak at quiescence: {} of {} handles parked",
+                    state.parked.len(),
+                    state.issued
+                ),
+                schedule: schedule.clone(),
+            });
+            return;
+        }
+        if state.active.iter().any(|&a| a) {
+            outcome.violation = Some(PoolViolation {
+                message: "active handle at quiescence".into(),
+                schedule: schedule.clone(),
+            });
+            return;
+        }
+        outcome.schedules += 1;
+        return;
+    }
+    for t in tasks {
+        let mut next = state.clone();
+        schedule.push(t);
+        match step(scenario, &mut next, t, schedule) {
+            Ok(()) => dfs(scenario, next, schedule, outcome, budget),
+            Err(v) => outcome.violation = Some(v),
+        }
+        schedule.pop();
+        if outcome.violation.is_some() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_within_capacity_are_safe() {
+        let outcome = explore(&PoolScenario::round_trips(2, 2, 2), 1_000_000);
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.complete);
+        assert!(outcome.schedules > 0);
+    }
+
+    #[test]
+    fn oversubscribed_tasks_share_one_handle_without_deadlock() {
+        // Three tasks over a single-handle pool: every schedule must
+        // complete (the blocked checkouts are eventually served) and the
+        // handle must never be double-held or parked active.
+        let outcome = explore(&PoolScenario::round_trips(3, 1, 1), 1_000_000);
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.complete, "exploration must be exhaustive");
+        assert!(outcome.schedules > 0);
+    }
+
+    #[test]
+    fn checkin_racing_leave_is_caught() {
+        // The buggy ordering: park the handle *before* leave. Some other
+        // task can then check it out mid-operation; every interleaving that
+        // reaches the park must be flagged.
+        let scenario = PoolScenario {
+            capacity: 1,
+            programs: vec![
+                vec![PoolOp::Checkout, PoolOp::Enter, PoolOp::Checkin, PoolOp::Leave],
+                vec![PoolOp::Checkout, PoolOp::Enter, PoolOp::Leave, PoolOp::Checkin],
+            ],
+            name: "checkin_before_leave".into(),
+        };
+        let outcome = explore(&scenario, 1_000_000);
+        let violation = outcome.violation.expect("the race must be detected");
+        assert!(
+            violation.message.contains("inside an operation"),
+            "unexpected violation: {}",
+            violation.message
+        );
+    }
+
+    #[test]
+    fn nested_checkout_self_deadlock_is_caught() {
+        // A task re-checking-out while holding the only handle can never
+        // proceed: the explorer must report the deadlock, not hang.
+        let scenario = PoolScenario {
+            capacity: 1,
+            programs: vec![vec![PoolOp::Checkout, PoolOp::Checkout]],
+            name: "nested_checkout".into(),
+        };
+        let outcome = explore(&scenario, 1_000);
+        let violation = outcome.violation.expect("deadlock must be detected");
+        assert!(violation.message.contains("deadlock"), "{violation:?}");
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        // With cap 2 and four eager tasks, `issued` may never pass 2 in any
+        // interleaving; `explore` checks this on every checkout.
+        let outcome = explore(&PoolScenario::round_trips(4, 1, 2), 2_000_000);
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.complete);
+    }
+}

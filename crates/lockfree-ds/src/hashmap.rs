@@ -1,7 +1,7 @@
 //! Michael's lock-free hash map \[26\]: a fixed array of Harris–Michael
 //! sorted-list buckets (the paper's Figure 8c/9c benchmark structure).
 
-use smr_core::{Atomic, Smr, SmrConfig};
+use smr_core::{Atomic, Smr, SmrConfig, SmrHandle};
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 
 use crate::list::{self, ListNode};
@@ -84,19 +84,47 @@ where
 
     /// An empty map with `buckets` buckets (rounded up to a power of two).
     pub fn with_config_and_buckets(config: SmrConfig, buckets: usize) -> Self {
+        Self::with_domain_and_buckets(S::with_config(config), buckets)
+    }
+
+    /// An empty map over a pre-built domain and [`DEFAULT_BUCKETS`] — the
+    /// way to hand in a configured [`smr_core::Sharded`] adapter.
+    pub fn with_domain(domain: S) -> Self {
+        Self::with_domain_and_buckets(domain, DEFAULT_BUCKETS)
+    }
+
+    /// An empty map over a pre-built domain with `buckets` buckets (rounded
+    /// up to a power of two).
+    pub fn with_domain_and_buckets(domain: S, buckets: usize) -> Self {
         let buckets = buckets.next_power_of_two();
         Self {
-            domain: S::with_config(config),
+            domain,
             buckets: (0..buckets).map(|_| Atomic::null()).collect(),
             hasher: MapHasher::default(),
         }
     }
 
-    fn bucket(&self, key: &K) -> &Atomic<ListNode<K, V>> {
-        
-        
+    fn bucket_index(&self, key: &K) -> usize {
         let h = self.hasher.hash_one(key) as usize;
-        &self.buckets[h & (self.buckets.len() - 1)]
+        h & (self.buckets.len() - 1)
+    }
+
+    /// Pins `handle` to the shard owning bucket `index` and returns the
+    /// bucket head.
+    ///
+    /// Every node of a bucket is allocated, protected and retired through a
+    /// handle pinned to that bucket, so under a [`smr_core::Sharded`] domain
+    /// with `ByKey` routing each *bucket group* (the buckets whose index is
+    /// congruent modulo the shard count) forms a self-contained shard: the
+    /// map's retire traffic splits per group instead of funneling into one
+    /// domain. Plain domains ignore the pin.
+    fn pinned_bucket<'a, 'b>(
+        &'a self,
+        handle: &mut S::Handle<'b>,
+        index: usize,
+    ) -> &'a Atomic<ListNode<K, V>> {
+        handle.pin_shard(index as u64);
+        &self.buckets[index]
     }
 
     /// The underlying reclamation domain (statistics, etc.).
@@ -111,7 +139,8 @@ where
 
     /// Looks up `key`. Must be called between `enter` and `leave`.
     pub fn get<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
-        unsafe { list::get(handle, self.bucket(key), key) }
+        let bucket = self.pinned_bucket(handle, self.bucket_index(key));
+        unsafe { list::get(handle, bucket, key) }
     }
 
     /// Whether `key` is present. Must be called between `enter` and `leave`.
@@ -122,14 +151,15 @@ where
     /// Inserts `key -> value`; `false` if present. Must be called between
     /// `enter` and `leave`.
     pub fn insert<'a>(&'a self, handle: &mut S::Handle<'a>, key: K, value: V) -> bool {
-        let bucket = self.bucket(&key);
+        let bucket = self.pinned_bucket(handle, self.bucket_index(&key));
         unsafe { list::insert(handle, bucket, key, value) }
     }
 
     /// Removes `key`, returning its value. Must be called between `enter`
     /// and `leave`.
     pub fn remove<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
-        unsafe { list::remove(handle, self.bucket(key), key) }
+        let bucket = self.pinned_bucket(handle, self.bucket_index(key));
+        unsafe { list::remove(handle, bucket, key) }
     }
 }
 
@@ -141,7 +171,9 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        for bucket in self.buckets.iter() {
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            // Pin per bucket so each shard deallocates its own nodes.
+            handle.pin_shard(index as u64);
             unsafe { list::drop_all(&mut handle, bucket) };
         }
     }

@@ -330,8 +330,14 @@ where
 
     /// An empty list whose reclamation domain uses `config`.
     pub fn with_config(config: SmrConfig) -> Self {
+        Self::with_domain(S::with_config(config))
+    }
+
+    /// An empty list over a pre-built reclamation domain — the way to hand
+    /// in a configured [`smr_core::Sharded`] adapter.
+    pub fn with_domain(domain: S) -> Self {
         Self {
-            domain: S::with_config(config),
+            domain,
             head: Atomic::null(),
         }
     }

@@ -148,7 +148,12 @@ where
             config.max_protect >= NM_MIN_PROTECT,
             "Natarajan-Mittal tree needs at least {NM_MIN_PROTECT} protection indices"
         );
-        let domain = S::with_config(config);
+        Self::with_domain(S::with_config(config))
+    }
+
+    /// An empty tree over a pre-built reclamation domain (e.g. a
+    /// configured [`smr_core::Sharded`] adapter).
+    pub fn with_domain(domain: S) -> Self {
         let mut handle = domain.handle();
         // R{Inf2}: left = S, right = leaf(Inf2); S{Inf1}: leaves Inf1/Inf2.
         let s_l = handle.alloc(NmNode::leaf(TreeKey::Inf1, None));

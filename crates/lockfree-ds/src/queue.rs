@@ -83,7 +83,12 @@ where
 
     /// An empty queue whose reclamation domain uses `config`.
     pub fn with_config(config: SmrConfig) -> Self {
-        let domain = S::with_config(config);
+        Self::with_domain(S::with_config(config))
+    }
+
+    /// An empty queue over a pre-built reclamation domain (e.g. a
+    /// configured [`smr_core::Sharded`] adapter).
+    pub fn with_domain(domain: S) -> Self {
         let mut handle = domain.handle();
         let sentinel = handle.alloc(QueueNode {
             value: None,

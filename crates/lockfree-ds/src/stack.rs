@@ -82,8 +82,14 @@ where
 
     /// An empty stack whose reclamation domain uses `config`.
     pub fn with_config(config: SmrConfig) -> Self {
+        Self::with_domain(S::with_config(config))
+    }
+
+    /// An empty stack over a pre-built reclamation domain (e.g. a
+    /// configured [`smr_core::Sharded`] adapter).
+    pub fn with_domain(domain: S) -> Self {
         Self {
-            domain: S::with_config(config),
+            domain,
             top: Atomic::null(),
         }
     }

@@ -110,6 +110,13 @@ impl<T: Send + 'static> Smr<T> for Ebr<T> {
     fn robust() -> bool {
         false
     }
+
+    fn shardable_by_pointer() -> bool {
+        // Epoch reservations are enter-scoped and carry no per-node birth
+        // metadata: retiring a node into any shard the reader also entered
+        // is the ordinary EBR argument within that shard.
+        true
+    }
 }
 
 impl<T: Send + 'static> Drop for Ebr<T> {
@@ -135,6 +142,11 @@ pub struct EbrHandle<'d, T: Send + 'static> {
     op_counter: u64,
     local_stats: LocalStats,
 }
+
+// SAFETY: the limbo list holds exclusively owned retired nodes and the
+// registry slot index stays valid wherever the handle runs; the domain
+// borrow is `Sync`. A parked handle may therefore move between tasks.
+unsafe impl<T: Send + 'static> Send for EbrHandle<'_, T> {}
 
 impl<T: Send + 'static> std::fmt::Debug for EbrHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -144,6 +144,11 @@ pub struct HeHandle<'d, T: Send + 'static> {
     local_stats: LocalStats,
 }
 
+// SAFETY: the limbo list holds exclusively owned retired nodes and the
+// registry slot index stays valid wherever the handle runs; the domain
+// borrow is `Sync`. A parked handle may therefore move between tasks.
+unsafe impl<T: Send + 'static> Send for HeHandle<'_, T> {}
+
 impl<T: Send + 'static> std::fmt::Debug for HeHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HeHandle")

@@ -145,6 +145,11 @@ pub struct IbrHandle<'d, T: Send + 'static> {
     local_stats: LocalStats,
 }
 
+// SAFETY: the limbo list holds exclusively owned retired nodes, the slot
+// index and cached upper bound stay valid wherever the handle runs (the
+// handle remains the slot's only writer), and the domain borrow is `Sync`.
+unsafe impl<T: Send + 'static> Send for IbrHandle<'_, T> {}
+
 impl<T: Send + 'static> std::fmt::Debug for IbrHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IbrHandle")

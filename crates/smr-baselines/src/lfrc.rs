@@ -166,6 +166,11 @@ pub struct LfrcHandle<'d, T: Send + 'static> {
     local_stats: LocalStats,
 }
 
+// SAFETY: `held` stores counted references this handle owns; releasing
+// them from another thread is exactly what the atomic refcount permits.
+// The domain borrow is `Sync`; nothing is thread-affine.
+unsafe impl<T: Send + 'static> Send for LfrcHandle<'_, T> {}
+
 impl<T: Send + 'static> std::fmt::Debug for LfrcHandle<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LfrcHandle").finish_non_exhaustive()

@@ -20,6 +20,10 @@
 //!   Hyaline-S (the paper's `AllocEra`, Figure 5).
 //! * [`SmrStats`] — allocation/retire/free counters used to reproduce the
 //!   paper's "retired but not yet reclaimed objects per operation" metric.
+//! * [`Sharded`] and [`HandlePool`] — scale adapters over any [`Smr`]
+//!   implementation: sharded domains bound retire-list traffic and
+//!   cross-thread scans to one shard, and handle pools let more tasks than
+//!   [`SmrConfig::max_threads`] take turns on registry-based schemes.
 //!
 //! # Example
 //!
@@ -59,16 +63,20 @@ compile_error!(
 mod config;
 mod era;
 mod header;
+mod pool;
 mod registry;
 mod shared;
+mod sharded;
 mod smr;
 mod stats;
 
-pub use config::SmrConfig;
+pub use config::{ShardRouting, SmrConfig};
 pub use era::EraClock;
 pub use header::{NodeHeader, SmrNode};
+pub use pool::{HandlePool, PooledHandle};
 pub use registry::SlotRegistry;
 pub use shared::{Atomic, Shared};
+pub use sharded::{Sharded, ShardedHandle};
 pub use smr::{Smr, SmrHandle};
 pub use stats::{LocalStats, SmrStats};
 

@@ -30,9 +30,47 @@ use crate::{Atomic, Shared, SmrConfig, SmrStats};
 ///     domain.stats().unreclaimed()
 /// }
 /// ```
+///
+/// # Scaling past thread-per-handle
+///
+/// Two adapters compose with any `Smr` implementation:
+///
+/// * [`Sharded<S>`](crate::Sharded) splits one logical domain into `N`
+///   inner domains so retire-list traffic and cross-thread scans touch only
+///   one shard (`SmrConfig { shards, routing, .. }` selects the layout).
+/// * [`HandlePool<S>`](crate::HandlePool) parks and re-issues handles so
+///   short-lived tasks reuse registry slots instead of churning them —
+///   required when more tasks than [`SmrConfig::max_threads`] take turns on
+///   a registry-based scheme.
+///
+/// ```
+/// use smr_core::{HandlePool, Sharded, Smr, SmrConfig, SmrHandle};
+///
+/// fn pooled_sharded_churn<S: Smr<u64>>() {
+///     let domain: Sharded<S> = Sharded::with_config(SmrConfig {
+///         slots: 16,
+///         shards: 4,
+///         ..SmrConfig::default()
+///     });
+///     let pool = HandlePool::new(&domain, 2);
+///     for _ in 0..8 {
+///         // More tasks than pooled handles: checkout blocks, never panics.
+///         let mut h = pool.checkout();
+///         h.enter();
+///         let node = h.alloc(7);
+///         unsafe { h.retire(node) };
+///         h.leave();
+///     } // dropping the guard parks the handle for the next task
+/// }
+/// ```
 pub trait Smr<T: Send + 'static>: Send + Sync + Sized + 'static {
     /// The per-thread handle type. Borrows the domain.
-    type Handle<'d>: SmrHandle<T> + 'd
+    ///
+    /// Handles are `Send`: they hold exclusively owned state (limbo lists,
+    /// partial batches, registry indices) plus a shared borrow of the
+    /// domain, so a [`HandlePool`](crate::HandlePool) may park a handle
+    /// created on one thread and re-issue it to another.
+    type Handle<'d>: SmrHandle<T> + Send + 'd
     where
         Self: 'd;
 
@@ -54,6 +92,18 @@ pub trait Smr<T: Send + 'static>: Send + Sync + Sized + 'static {
 
     /// The domain's allocation/retire/free counters.
     fn stats(&self) -> &SmrStats;
+
+    /// A cheap read of the retired-but-not-yet-freed count, safe to call
+    /// from hot paths (benchmark sampling loops call it every few hundred
+    /// operations per thread).
+    ///
+    /// For plain domains this is `stats().unreclaimed()`. Aggregating
+    /// adapters override it to *sum loads only*: [`Sharded`](crate::Sharded)
+    /// must not funnel every sampling thread through writes to one shared
+    /// aggregate cache line.
+    fn unreclaimed_estimate(&self) -> u64 {
+        self.stats().unreclaimed()
+    }
 
     /// Short scheme name as used in the paper's figures
     /// (e.g. `"Hyaline"`, `"Epoch"`, `"HP"`).
@@ -90,6 +140,24 @@ pub trait Smr<T: Send + 'static>: Send + Sync + Sized + 'static {
     fn needs_seek_validation() -> bool {
         false
     }
+
+    /// Whether the scheme tolerates [`ShardRouting::ByPointer`] sharding
+    /// (see [`Sharded`](crate::Sharded)): `enter` covers all shards while
+    /// each `retire` routes to the shard selected by a hash of the node's
+    /// address.
+    ///
+    /// That is sound only when protection is purely *enter-scoped*: no
+    /// per-node metadata stamped at allocation is compared against
+    /// shard-local state (birth eras), and `protect` publishes nothing
+    /// per-pointer (hazards). Enter-scoped schemes — Hyaline, Hyaline-1,
+    /// EBR, Leaky — qualify; era- and pointer-based schemes (Hyaline-S/1S,
+    /// HE, IBR, HP, LFRC) must use `ShardRouting::ByKey` instead, where a
+    /// node lives its whole life under one shard.
+    ///
+    /// [`ShardRouting::ByPointer`]: crate::ShardRouting::ByPointer
+    fn shardable_by_pointer() -> bool {
+        false
+    }
 }
 
 /// A per-thread handle to an [`Smr`] domain.
@@ -116,6 +184,21 @@ pub trait SmrHandle<T> {
     /// Ends an operation: releases the reservation made by
     /// [`SmrHandle::enter`] and lets deferred reclamation proceed.
     fn leave(&mut self);
+
+    /// Routes this handle to the shard owning the key partition identified
+    /// by `key_hash` (the low bits select the shard).
+    ///
+    /// Only [`Sharded`](crate::Sharded) handles under
+    /// [`ShardRouting::ByKey`](crate::ShardRouting::ByKey) do anything; for
+    /// every plain scheme this is a no-op, so data structures may call it
+    /// unconditionally. A key-partitioned structure must pin **before** any
+    /// `alloc`/`protect`/`retire` of that partition's nodes (the hash map
+    /// pins per bucket); switching shards mid-operation re-enters through
+    /// the new shard, which is exactly a `leave` + `enter` on the inner
+    /// domains.
+    fn pin_shard(&mut self, key_hash: u64) {
+        let _ = key_hash;
+    }
 
     /// Logically `leave` immediately followed by `enter`, letting previously
     /// retired nodes be reclaimed without ending the reservation window.

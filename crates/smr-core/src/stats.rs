@@ -87,6 +87,28 @@ impl SmrStats {
     pub fn unreclaimed(&self) -> u64 {
         self.retired().saturating_sub(self.freed())
     }
+
+    /// Overwrites these counters with the sums over `parts`.
+    ///
+    /// [`Sharded`](crate::Sharded) keeps one aggregate `SmrStats` and
+    /// refreshes it from the per-shard counters on every
+    /// [`Smr::stats`](crate::Smr::stats) call. The four sums are read
+    /// independently, so a snapshot taken while shards are actively flushing
+    /// is approximate — exactly as approximate as reading a single domain's
+    /// counters mid-flight; at quiescence it is exact.
+    pub fn refresh_from<'a>(&self, parts: impl IntoIterator<Item = &'a SmrStats>) {
+        let mut sums = [0u64; 4];
+        for p in parts {
+            sums[0] += p.allocated();
+            sums[1] += p.retired();
+            sums[2] += p.freed();
+            sums[3] += p.deallocated();
+        }
+        self.allocated.store(sums[0], Ordering::Relaxed);
+        self.retired.store(sums[1], Ordering::Relaxed);
+        self.freed.store(sums[2], Ordering::Relaxed);
+        self.deallocated.store(sums[3], Ordering::Relaxed);
+    }
 }
 
 /// Per-thread buffered counters, flushed to [`SmrStats`] in batches.
@@ -227,6 +249,25 @@ mod tests {
         assert_eq!(s.allocated(), 1);
         assert_eq!(s.retired(), 1);
         assert_eq!(s.freed(), 5);
+    }
+
+    #[test]
+    fn refresh_from_sums_parts() {
+        let a = SmrStats::new();
+        a.add_allocated(3);
+        a.add_retired(2);
+        a.add_freed(1);
+        let b = SmrStats::new();
+        b.add_allocated(7);
+        b.add_deallocated(4);
+        let agg = SmrStats::new();
+        agg.add_allocated(999); // stale value must be overwritten
+        agg.refresh_from([&a, &b]);
+        assert_eq!(agg.allocated(), 10);
+        assert_eq!(agg.retired(), 2);
+        assert_eq!(agg.freed(), 1);
+        assert_eq!(agg.deallocated(), 4);
+        assert_eq!(agg.unreclaimed(), 1);
     }
 
     #[test]

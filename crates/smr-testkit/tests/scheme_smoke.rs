@@ -7,7 +7,7 @@
 //! and asserts afterwards that every tracked allocation was dropped exactly
 //! once (`Leaky` asserts the complement: nothing was ever freed).
 
-use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
+use smr_core::{Atomic, Shared, ShardRouting, Smr, SmrConfig, SmrHandle};
 use smr_testkit::drop_tracker::{DropRegistry, Tracked};
 use std::sync::atomic::Ordering;
 
@@ -25,6 +25,16 @@ fn cfg() -> SmrConfig {
     }
 }
 
+fn sharded_cfg(shards: usize, routing: ShardRouting) -> SmrConfig {
+    SmrConfig {
+        // Per-shard slot budget stays ≥ 1 for every tested shard count.
+        slots: 8.max(shards),
+        shards,
+        routing,
+        ..cfg()
+    }
+}
+
 /// Runs the churn and returns the registry for scheme-specific assertions.
 ///
 /// Each thread alternates between private churn (alloc + immediate retire)
@@ -32,9 +42,13 @@ fn cfg() -> SmrConfig {
 /// swap displaced) so retirement of nodes allocated by *other* threads is
 /// exercised too. The final slot occupant is retired during teardown.
 fn churn<S: Smr<Tracked<u64>>>() -> DropRegistry {
+    churn_with::<S>(cfg())
+}
+
+fn churn_with<S: Smr<Tracked<u64>>>(config: SmrConfig) -> DropRegistry {
     let registry = DropRegistry::new();
     {
-        let domain = S::with_config(cfg());
+        let domain = S::with_config(config);
         let slot: Atomic<Tracked<u64>> = Atomic::null();
         std::thread::scope(|scope| {
             for t in 0..THREADS {
@@ -123,4 +137,108 @@ fn smoke_leaky_leaks_everything() {
     let registry = churn::<smr_baselines::Leaky<Tracked<u64>>>();
     assert_eq!(registry.dropped(), 0, "Leaky must never drop a payload");
     assert_eq!(registry.live(), (THREADS as u64 * OPS_PER_THREAD) as i64);
+}
+
+/// The sharded churn: one shared slot **per shard**, and every operation
+/// pins its shard before touching that shard's slot — the key-partition
+/// discipline a `ByKey`-routed structure (the hash map) follows. Nodes are
+/// allocated, published, displaced and retired strictly within one shard,
+/// while the four threads keep rotating across all of them.
+fn sharded_churn<S: Smr<Tracked<u64>>>(shards: usize) -> DropRegistry {
+    let registry = DropRegistry::new();
+    {
+        let domain: smr_core::Sharded<S> =
+            Smr::<Tracked<u64>>::with_config(sharded_cfg(shards, ShardRouting::ByKey));
+        assert_eq!(domain.shard_count(), shards);
+        let slots: Vec<Atomic<Tracked<u64>>> = (0..shards).map(|_| Atomic::null()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let registry = &registry;
+                let domain = &domain;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut h = domain.handle();
+                    for i in 0..OPS_PER_THREAD {
+                        let shard = (t as u64 + i) % shards as u64;
+                        h.enter();
+                        h.pin_shard(shard);
+                        let value = registry.track(t as u64 * OPS_PER_THREAD + i);
+                        let node = h.alloc(value);
+                        if i % 2 == 0 {
+                            let prev = slots[shard as usize].swap(node, Ordering::AcqRel);
+                            if !prev.is_null() {
+                                unsafe { h.retire(prev) };
+                            }
+                        } else {
+                            unsafe { h.retire(node) };
+                        }
+                        h.leave();
+                    }
+                    h.flush();
+                });
+            }
+        });
+        let mut h = domain.handle();
+        for (shard, slot) in slots.iter().enumerate() {
+            h.enter();
+            h.pin_shard(shard as u64);
+            let last = slot.swap(Shared::null(), Ordering::AcqRel);
+            if !last.is_null() {
+                unsafe { h.retire(last) };
+            }
+            h.leave();
+        }
+        h.flush();
+        // Every shard must have seen real traffic (the rotation covers all).
+        for i in 0..shards {
+            assert!(
+                domain.shard(i).stats().retired() > 0,
+                "{}: shard {i} received no retire traffic",
+                S::name()
+            );
+        }
+        drop(h);
+    }
+    registry
+}
+
+/// `Sharded<S>` entries of the matrix: every shard count gets the same
+/// 4-thread churn + exact drop balance as the plain schemes.
+macro_rules! sharded_smoke {
+    ($($test:ident => $scheme:ty : $shards:expr),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            let registry = sharded_churn::<$scheme>($shards);
+            registry.assert_quiescent();
+            assert_eq!(
+                registry.created(),
+                THREADS as u64 * OPS_PER_THREAD,
+                "payload count mismatch"
+            );
+        }
+    )+};
+}
+
+sharded_smoke! {
+    smoke_sharded_hyaline_x2 => hyaline::Hyaline<Tracked<u64>> : 2,
+    smoke_sharded_hyaline_x4 => hyaline::Hyaline<Tracked<u64>> : 4,
+    smoke_sharded_hyaline_x8 => hyaline::Hyaline<Tracked<u64>> : 8,
+    smoke_sharded_hyaline_s_x2 => hyaline::HyalineS<Tracked<u64>> : 2,
+    smoke_sharded_hyaline_s_x4 => hyaline::HyalineS<Tracked<u64>> : 4,
+    smoke_sharded_hyaline_s_x8 => hyaline::HyalineS<Tracked<u64>> : 8,
+    smoke_sharded_epoch_x4 => smr_baselines::Ebr<Tracked<u64>> : 4,
+}
+
+/// `ByPointer` routing needs no pin discipline: the plain churn (a single
+/// shared slot swapped across shards) is exactly the pattern it must
+/// survive — `enter` covers every shard and each retire routes by the
+/// node's address.
+#[test]
+fn smoke_sharded_hyaline_by_pointer() {
+    let registry = churn_with::<smr_core::Sharded<hyaline::Hyaline<Tracked<u64>>>>(sharded_cfg(
+        4,
+        ShardRouting::ByPointer,
+    ));
+    registry.assert_quiescent();
+    assert_eq!(registry.created(), THREADS as u64 * OPS_PER_THREAD);
 }
