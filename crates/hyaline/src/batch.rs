@@ -33,6 +33,12 @@ pub(crate) const W_CHAIN: usize = 2;
 /// Low bit of `W_CHAIN`: set when the node has a live payload.
 const LIVE_BIT: usize = 1;
 
+/// Borrows the SMR header embedded in `node`.
+///
+/// # Safety
+///
+/// `node` must point to a live `SmrNode<T>` allocation, and the returned
+/// reference must not outlive the node's reclamation.
 #[inline]
 pub(crate) unsafe fn header<'a, T: 'a>(node: *mut SmrNode<T>) -> &'a NodeHeader {
     (*node).header()
@@ -166,6 +172,9 @@ impl<T> FinalizedBatch<T> {
 /// `node` must be a live batch node.
 #[inline]
 pub(crate) unsafe fn chain_next<T>(node: *mut SmrNode<T>) -> *mut SmrNode<T> {
+    // ORDERING: Relaxed suffices — `word 2` chain links are written before the
+    // batch is published (finalize/retire is the release point), so any thread
+    // walking the chain already synchronized via the slot-list Acquire load.
     (header(node).word(W_CHAIN).load(Ordering::Relaxed) & !LIVE_BIT) as *mut SmrNode<T>
 }
 
@@ -262,9 +271,11 @@ mod tests {
         let mut batch = LocalBatch::<Payload>::new();
         for i in 0..5 {
             let node = SmrNode::alloc(Payload);
+            // SAFETY: `node` was just allocated and is exclusively owned.
             unsafe { batch.push(node.as_ptr(), 100 + i, true) };
         }
         assert_eq!(batch.count(), 5);
+        // SAFETY: all five pushed nodes are live and unshared.
         let fin = unsafe { batch.finalize(0) };
         assert_eq!(fin.min_birth, 100);
         assert_eq!(fin.count, 5);
@@ -273,11 +284,13 @@ mod tests {
         let mut cur = fin.chain_head;
         let mut hops = 0;
         while cur != fin.refs_node {
+            // SAFETY: `cur` is a live batch node; the chain is fully linked.
             cur = unsafe { chain_next(cur) };
             hops += 1;
         }
         assert_eq!(hops, 4);
 
+        // SAFETY: no other reference to the batch remains; freeing is final.
         let freed = unsafe { free_batch(fin.refs_node) };
         assert_eq!(freed, 5);
         assert_eq!(DROPS.load(Ordering::Relaxed), 5);
@@ -288,13 +301,19 @@ mod tests {
         DROPS.store(0, Ordering::Relaxed);
         let mut batch = LocalBatch::<Payload>::new();
         let real = SmrNode::alloc(Payload);
+        // SAFETY: `real` was just allocated and is exclusively owned.
         unsafe { batch.push(real.as_ptr(), 1, true) };
         for _ in 0..3 {
+            // SAFETY: dummy nodes carry no payload; alloc_dummy returns a
+            // fresh allocation and push takes exclusive ownership of it.
             let dummy = unsafe { SmrNode::<Payload>::alloc_dummy() };
+            // SAFETY: as above — `dummy` is fresh and unshared.
             unsafe { batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
+        // SAFETY: every pushed node is live and unshared.
         let fin = unsafe { batch.finalize(0) };
         assert_eq!(fin.min_birth, 1);
+        // SAFETY: the batch was never published; this thread owns it outright.
         let freed = unsafe { free_batch(fin.refs_node) };
         assert_eq!(freed, 4);
         assert_eq!(DROPS.load(Ordering::Relaxed), 1, "only the real payload drops");
@@ -305,19 +324,24 @@ mod tests {
         let mut batch = LocalBatch::<u32>::new();
         for v in 0..3 {
             let node = SmrNode::alloc(v);
+            // SAFETY: `node` was just allocated and is exclusively owned.
             unsafe { batch.push(node.as_ptr(), 0, true) };
         }
+        // SAFETY: all pushed nodes are live and unshared.
         let fin = unsafe { batch.finalize(0) };
         let mut reap = Vec::new();
         // Simulate: +5 (insert credit), then five -1 decrements.
+        // SAFETY: `refs_node` belongs to the just-finalized batch.
         unsafe { adjust_refs(fin.refs_node, 5, &mut reap) };
         assert!(reap.is_empty());
         for i in 0..5 {
+            // SAFETY: the batch stays live until the final decrement below.
             unsafe { decrement(fin.chain_head, &mut reap) };
             assert_eq!(reap.len(), usize::from(i == 4));
         }
         assert_eq!(reap.len(), 1);
         assert_eq!(reap[0], fin.refs_node);
+        // SAFETY: NRef crossed zero and no other reference remains.
         unsafe { free_batch(fin.refs_node) };
     }
 
@@ -329,18 +353,24 @@ mod tests {
         let mut batch = LocalBatch::<u32>::new();
         for v in 0..3 {
             let node = SmrNode::alloc(v);
+            // SAFETY: `node` was just allocated and is exclusively owned.
             unsafe { batch.push(node.as_ptr(), 0, true) };
         }
+        // SAFETY: all pushed nodes are live and unshared.
         let fin = unsafe { batch.finalize(adjs_small) };
         let mut reap = Vec::new();
         // One slot credited with HRef snapshot 1, then one decrement, then
         // the second slot's credit: NRef = 2*Adjs + 1 - 1 = 0 (mod 2^64).
+        // SAFETY: `chain_head` is a live node of the finalized batch.
         unsafe { adjust_slot_credit(fin.chain_head, 1, &mut reap) };
         assert!(reap.is_empty());
+        // SAFETY: the batch is still live (NRef has not crossed zero yet).
         unsafe { decrement(fin.chain_head, &mut reap) };
         assert!(reap.is_empty());
+        // SAFETY: last credit; the batch is freed only via `reap` below.
         unsafe { adjust_slot_credit(fin.chain_head, 0, &mut reap) };
         assert_eq!(reap.len(), 1);
+        // SAFETY: NRef crossed zero and no other reference remains.
         unsafe { free_batch(fin.refs_node) };
     }
 
@@ -351,12 +381,16 @@ mod tests {
         let mut batch = LocalBatch::<u32>::new();
         for v in 0..2 {
             let node = SmrNode::alloc(v);
+            // SAFETY: `node` was just allocated and is exclusively owned.
             unsafe { batch.push(node.as_ptr(), 0, true) };
         }
+        // SAFETY: all pushed nodes are live and unshared.
         let fin = unsafe { batch.finalize(0) };
         let mut reap = Vec::new();
+        // SAFETY: `refs_node` belongs to the just-finalized, unpublished batch.
         unsafe { adjust_refs(fin.refs_node, 0, &mut reap) };
         assert_eq!(reap.len(), 1);
+        // SAFETY: NRef is zero and this thread holds the only reference.
         unsafe { free_batch(fin.refs_node) };
     }
 
@@ -364,8 +398,11 @@ mod tests {
     fn singleton_batch_free() {
         let mut batch = LocalBatch::<u32>::new();
         let node = SmrNode::alloc(1);
+        // SAFETY: `node` was just allocated and is exclusively owned.
         unsafe { batch.push(node.as_ptr(), 0, true) };
+        // SAFETY: the single pushed node is live and unshared.
         let fin = unsafe { batch.finalize(0) };
+        // SAFETY: the batch was never published; freeing is safe and final.
         assert_eq!(unsafe { free_batch(fin.refs_node) }, 1);
     }
 }

@@ -190,6 +190,12 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
 
     /// Walks the retirement sublist from `next` down to (and including) the
     /// handle node, decrementing each batch's `NRef` (Figure 3, `traverse`).
+    ///
+    /// # Safety
+    ///
+    /// `next` must be the `Next` link of a node this thread still holds a
+    /// logical reference to (read while the slot reference was held), so
+    /// every node on the sublist is live until its decrement below.
     unsafe fn traverse(&mut self, mut next: *mut SmrNode<T>) {
         let handle = self.handle;
         loop {
@@ -208,6 +214,11 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
     }
 
     /// Appends a finalized batch to every active slot (Figure 3, `retire`).
+    ///
+    /// # Safety
+    ///
+    /// `fin` must come from this handle's own `LocalBatch::finalize`, with a
+    /// chain of at least `slots + 1` nodes that no other thread has seen yet.
     unsafe fn insert_batch(&mut self, fin: FinalizedBatch<T>) {
         let domain = self.domain;
         let mut insert_node = fin.chain_head;
@@ -263,12 +274,17 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
             return;
         }
         while self.batch.count() < self.domain.min_insert_size() {
+            // SAFETY: dummy nodes have no payload; the allocation is fresh.
             let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
             self.local_stats.on_alloc(&self.domain.stats);
             self.local_stats.on_retire(&self.domain.stats);
+            // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
+        // SAFETY: the loop above padded the batch to >= slots + 1 nodes, all
+        // owned by this handle and unpublished.
         let fin = unsafe { self.batch.finalize(self.domain.adjs) };
+        // SAFETY: `fin` is this handle's own freshly finalized batch.
         unsafe { self.insert_batch(fin) };
     }
 
@@ -280,6 +296,8 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
         }
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
+            // SAFETY: a REFS node enters `reap` only when its batch's NRef
+            // crossed zero, so no thread can still reference the batch.
             freed += unsafe { free_batch(refs) };
         }
         self.local_stats.on_free(&self.domain.stats, freed);
@@ -303,9 +321,9 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
             let curr: *mut SmrNode<T> = head.ptr();
             let mut next = ptr::null_mut();
             if curr != self.handle {
-                // A non-handle head exists only while we (an active thread)
-                // hold a reference to it, so reading its Next is safe.
                 debug_assert!(!curr.is_null());
+                // SAFETY: a non-handle head exists only while we (an active
+                // thread) hold a reference to it, so reading its Next is safe.
                 next = unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) }
                     as *mut SmrNode<T>;
             }
@@ -323,9 +341,13 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
         if old_head.refs() == 1 && !curr.is_null() {
             // We detached the list: the head node never gets a successor, so
             // give it its final per-slot Adjs as if it were a predecessor.
+            // SAFETY: `curr` was the head we just detached; the batch stays
+            // live until this final credit is applied.
             unsafe { adjust_slot_credit(curr, 0, &mut self.reap) };
         }
         if curr != self.handle {
+            // SAFETY: `next` was read from `curr` while our slot reference
+            // pinned the sublist; traverse releases it exactly once.
             unsafe { self.traverse(next) };
         }
         self.handle = ptr::null_mut();
@@ -340,8 +362,11 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
         let curr: *mut SmrNode<T> = head.ptr();
         if curr != self.handle {
             debug_assert!(!curr.is_null());
+            // SAFETY: we are still inside the operation, so the head and its
+            // sublist are pinned by our slot reference.
             let next =
                 unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) } as *mut SmrNode<T>;
+            // SAFETY: as above — the sublist is pinned until traversed.
             unsafe { self.traverse(next) };
             self.handle = curr;
         }
@@ -353,6 +378,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
         Shared::from_node(SmrNode::alloc(value))
     }
 
+    // SAFETY: per the `SmrHandle::dealloc` contract the node was never
+    // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
         self.local_stats.on_dealloc(&self.domain.stats);
         SmrNode::dealloc(ptr.as_node_ptr(), true);
@@ -365,6 +392,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
         src.load(Ordering::Acquire)
     }
 
+    // SAFETY: per the `SmrHandle::retire` contract the node is unlinked from
+    // every shared structure, so batching it for deferred free is sound.
     unsafe fn retire(&mut self, ptr: Shared<T>) {
         debug_assert!(self.active, "retire outside an operation");
         let node = ptr.as_node_ptr();
@@ -427,6 +456,7 @@ mod tests {
             for i in 0..100u64 {
                 h.enter();
                 let node = h.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { h.retire(node) };
                 h.leave();
             }
@@ -442,6 +472,7 @@ mod tests {
             let mut h = domain.handle();
             h.enter();
             let node = h.alloc(1);
+            // SAFETY: `node` was never published; no other reference exists.
             unsafe { h.retire(node) };
             h.leave();
             // One node in the local batch; drop must dummy-pad and insert.
@@ -459,7 +490,9 @@ mod tests {
         let link = Atomic::new(node);
         let seen = h.protect(0, &link);
         assert_eq!(seen, node);
+        // SAFETY: we are inside the operation, so `seen` is pinned and live.
         assert_eq!(unsafe { *seen.deref() }, 42);
+        // SAFETY: `link` is local to this test; no other thread sees `node`.
         unsafe { h.retire(node) };
         h.leave();
     }
@@ -469,6 +502,7 @@ mod tests {
         let domain = small_domain();
         let mut h = domain.handle();
         let node = h.alloc(5);
+        // SAFETY: `node` was never published; dealloc-in-place is allowed.
         unsafe { h.dealloc(node) };
         drop(h);
         assert!(domain.stats().balanced());
@@ -496,6 +530,7 @@ mod tests {
             for i in 0..64u64 {
                 writer.enter();
                 let node = writer.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { writer.retire(node) };
                 writer.leave();
             }
@@ -526,6 +561,7 @@ mod tests {
         // Fill and insert exactly one batch (batch size = slots + 1 = 2... max(2, 2) = 2).
         for i in 0..8u64 {
             let node = h.alloc(i);
+            // SAFETY: `node` was never published; no other reference exists.
             unsafe { h.retire(node) };
         }
         h.flush(); // insert any partial batch
@@ -555,6 +591,7 @@ mod tests {
                     for i in 0..2_000u64 {
                         h.enter();
                         let node = h.alloc(t * 10_000 + i);
+                        // SAFETY: the node is thread-local until retired.
                         unsafe { h.retire(node) };
                         h.leave();
                     }
@@ -595,6 +632,7 @@ mod tests {
                     for _ in 0..1_000 {
                         h.enter();
                         let node = h.alloc(Tracked::new());
+                        // SAFETY: the node is thread-local until retired.
                         unsafe { h.retire(node) };
                         h.leave();
                     }

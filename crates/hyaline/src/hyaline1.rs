@@ -153,6 +153,12 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
     /// node. Unlike the multi-list variant, `leave` passes the detached list
     /// head itself: the slot owner holds exactly one reference to every node
     /// in its list.
+    ///
+    /// # Safety
+    ///
+    /// `next` must be a node this slot's reference still pins (the detached
+    /// head, or a `Next` link read while inside the operation); every node
+    /// on the sublist stays live until its decrement below.
     unsafe fn traverse(&mut self, mut next: *mut SmrNode<T>) {
         let handle = self.handle;
         loop {
@@ -170,6 +176,11 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
 
     /// Figure 4's `retire`: push the batch to every *active* slot, counting
     /// insertions, then adjust `NRef` by the count.
+    ///
+    /// # Safety
+    ///
+    /// `fin` must come from this handle's own `LocalBatch::finalize` and be
+    /// unpublished: no other thread may have seen any chain node yet.
     unsafe fn insert_batch(&mut self, mut fin: FinalizedBatch<T>) {
         let domain = self.domain;
         let mut insert_node = fin.chain_head;
@@ -228,12 +239,16 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
         // At least two nodes (REFS + one insertion candidate); the insert
         // loop extends on demand if more slots are active.
         while self.batch.count() < 2 {
+            // SAFETY: dummy nodes have no payload; the allocation is fresh.
             let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
             self.local_stats.on_alloc(&self.domain.stats);
             self.local_stats.on_retire(&self.domain.stats);
+            // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
+        // SAFETY: all batch nodes are owned by this handle and unpublished.
         let fin = unsafe { self.batch.finalize(0) };
+        // SAFETY: `fin` is this handle's own freshly finalized batch.
         unsafe { self.insert_batch(fin) };
     }
 
@@ -243,6 +258,8 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
         }
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
+            // SAFETY: a REFS node enters `reap` only when its batch's NRef
+            // crossed zero, so no thread can still reference the batch.
             freed += unsafe { free_batch(refs) };
         }
         self.local_stats.on_free(&self.domain.stats, freed);
@@ -263,6 +280,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
         let old = self.domain.slots[self.slot].leave();
         let head: *mut SmrNode<T> = old.ptr();
         if !head.is_null() {
+            // SAFETY: `leave` detached the list; its nodes stay live until
+            // this traversal applies our decrement to each batch.
             unsafe { self.traverse(head) };
         }
         self.handle = ptr::null_mut();
@@ -275,8 +294,11 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
         let curr: *mut SmrNode<T> = head.ptr();
         if curr != self.handle {
             debug_assert!(!curr.is_null());
+            // SAFETY: we are still inside the operation, so the head and its
+            // sublist are pinned by our slot's active reference.
             let next =
                 unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) } as *mut SmrNode<T>;
+            // SAFETY: as above — the sublist is pinned until traversed.
             unsafe { self.traverse(next) };
             self.handle = curr;
         }
@@ -288,6 +310,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
         Shared::from_node(SmrNode::alloc(value))
     }
 
+    // SAFETY: per the `SmrHandle::dealloc` contract the node was never
+    // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
         self.local_stats.on_dealloc(&self.domain.stats);
         SmrNode::dealloc(ptr.as_node_ptr(), true);
@@ -297,6 +321,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
         src.load(Ordering::Acquire)
     }
 
+    // SAFETY: per the `SmrHandle::retire` contract the node is unlinked from
+    // every shared structure, so batching it for deferred free is sound.
     unsafe fn retire(&mut self, ptr: Shared<T>) {
         debug_assert!(self.active, "retire outside an operation");
         self.local_stats.on_retire(&self.domain.stats);
@@ -351,6 +377,7 @@ mod tests {
             for i in 0..100u64 {
                 h.enter();
                 let node = h.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { h.retire(node) };
                 h.leave();
             }
@@ -394,6 +421,7 @@ mod tests {
             for i in 0..64u64 {
                 writer.enter();
                 let node = writer.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { writer.retire(node) };
                 writer.leave();
             }
@@ -415,6 +443,7 @@ mod tests {
         h.enter();
         for i in 0..16u64 {
             let node = h.alloc(i);
+            // SAFETY: `node` was never published; no other reference exists.
             unsafe { h.retire(node) };
         }
         h.flush();
@@ -440,6 +469,7 @@ mod tests {
                     for i in 0..1_500u64 {
                         h.enter();
                         let node = h.alloc(t * 100_000 + i);
+                        // SAFETY: the node is thread-local until retired.
                         unsafe { h.retire(node) };
                         h.leave();
                     }
@@ -478,6 +508,7 @@ mod tests {
             inside.wait();
             w.enter();
             let node = w.alloc(7);
+            // SAFETY: `node` was never published; no other reference exists.
             unsafe { w.retire(node) };
             w.leave();
             w.flush(); // 1 real node + dummies, inserted into 6+ active slots
@@ -496,6 +527,7 @@ mod tests {
             let mut h = domain.handle();
             h.enter();
             let node = h.alloc(round);
+            // SAFETY: `node` was never published; no other reference exists.
             unsafe { h.retire(node) };
             h.leave();
             drop(h); // finalizes the partial batch with dummies

@@ -174,6 +174,14 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
         self.slot
     }
 
+    /// Decrements every batch from `next` down to (and including) the handle
+    /// node (the Figure 4 single-list traversal).
+    ///
+    /// # Safety
+    ///
+    /// `next` must be a node this slot's reference still pins (the detached
+    /// head, or a `Next` link read while inside the operation); every node
+    /// on the sublist stays live until its decrement below.
     unsafe fn traverse(&mut self, mut next: *mut SmrNode<T>) {
         let handle = self.handle;
         loop {
@@ -191,6 +199,11 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
 
     /// Insert into every slot that is active *and* era-fresh enough to
     /// possibly reference the batch; count insertions (Figure 4 + Figure 5).
+    ///
+    /// # Safety
+    ///
+    /// `fin` must come from this handle's own `LocalBatch::finalize` and be
+    /// unpublished: no other thread may have seen any chain node yet.
     unsafe fn insert_batch(&mut self, mut fin: FinalizedBatch<T>) {
         let domain = self.domain;
         fence(Ordering::SeqCst);
@@ -245,12 +258,16 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
             return;
         }
         while self.batch.count() < 2 {
+            // SAFETY: dummy nodes have no payload; the allocation is fresh.
             let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
             self.local_stats.on_alloc(&self.domain.stats);
             self.local_stats.on_retire(&self.domain.stats);
+            // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
+        // SAFETY: all batch nodes are owned by this handle and unpublished.
         let fin = unsafe { self.batch.finalize(0) };
+        // SAFETY: `fin` is this handle's own freshly finalized batch.
         unsafe { self.insert_batch(fin) };
     }
 
@@ -260,6 +277,8 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
         }
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
+            // SAFETY: a REFS node enters `reap` only when its batch's NRef
+            // crossed zero, so no thread can still reference the batch.
             freed += unsafe { free_batch(refs) };
         }
         self.local_stats.on_free(&self.domain.stats, freed);
@@ -280,6 +299,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
         let old = self.domain.slots[self.slot].head.leave();
         let head: *mut SmrNode<T> = old.ptr();
         if !head.is_null() {
+            // SAFETY: `leave` detached the list; its nodes stay live until
+            // this traversal applies our decrement to each batch.
             unsafe { self.traverse(head) };
         }
         self.handle = ptr::null_mut();
@@ -292,8 +313,11 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
         let curr: *mut SmrNode<T> = head.ptr();
         if curr != self.handle {
             debug_assert!(!curr.is_null());
+            // SAFETY: we are still inside the operation, so the head and its
+            // sublist are pinned by our slot's active reference.
             let next =
                 unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) } as *mut SmrNode<T>;
+            // SAFETY: as above — the sublist is pinned until traversed.
             unsafe { self.traverse(next) };
             self.handle = curr;
         }
@@ -308,6 +332,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
         }
         self.local_stats.on_alloc(&domain.stats);
         let node = SmrNode::alloc(value);
+        // SAFETY: `node` is a fresh, unshared allocation; stamping its birth
+        // era in the header word races with nobody.
         unsafe {
             (*node.as_ptr())
                 .header()
@@ -317,6 +343,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
         Shared::from_node(node)
     }
 
+    // SAFETY: per the `SmrHandle::dealloc` contract the node was never
+    // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
         self.local_stats.on_dealloc(&self.domain.stats);
         SmrNode::dealloc(ptr.as_node_ptr(), true);
@@ -338,6 +366,8 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
         }
     }
 
+    // SAFETY: per the `SmrHandle::retire` contract the node is unlinked from
+    // every shared structure, so batching it for deferred free is sound.
     unsafe fn retire(&mut self, ptr: Shared<T>) {
         debug_assert!(self.active, "retire outside an operation");
         let domain = self.domain;
@@ -393,6 +423,7 @@ mod tests {
             for i in 0..200u64 {
                 h.enter();
                 let node = h.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { h.retire(node) };
                 h.leave();
             }
@@ -419,6 +450,7 @@ mod tests {
             for i in 0..10_000u64 {
                 worker.enter();
                 let node = worker.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { worker.retire(node) };
                 worker.leave();
             }
@@ -449,10 +481,11 @@ mod tests {
                 published.wait();
                 let seen = reader.protect(0, link);
                 assert!(!seen.is_null());
+                // SAFETY: `seen` came from `protect` inside the operation.
                 assert_eq!(unsafe { *seen.deref() }, 42);
                 protected.wait();
                 release.wait();
-                // The node must still be readable: we are protected.
+                // SAFETY: still protected — the era reservation pins `seen`.
                 assert_eq!(unsafe { *seen.deref() }, 42);
                 reader.leave();
             });
@@ -464,6 +497,7 @@ mod tests {
             protected.wait();
             // Unlink and retire while the reader holds a protected pointer.
             let unlinked = link.swap(Shared::null(), Ordering::AcqRel);
+            // SAFETY: the swap unlinked the node from the only shared link.
             unsafe { writer.retire(unlinked) };
             writer.leave();
             writer.flush();
@@ -483,6 +517,7 @@ mod tests {
                     for i in 0..2_000u64 {
                         h.enter();
                         let node = h.alloc(t * 1_000_000 + i);
+                        // SAFETY: the node is thread-local until retired.
                         unsafe { h.retire(node) };
                         h.leave();
                     }

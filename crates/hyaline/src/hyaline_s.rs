@@ -204,6 +204,12 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
     /// counting iterations for the `Ack` bookkeeping (Figure 5's `traverse`
     /// counts loop iterations, including a terminating null hop — exactly
     /// balancing the `HRef` snapshots added by `retire`).
+    ///
+    /// # Safety
+    ///
+    /// `next` must be the `Next` link of a node this thread still holds a
+    /// logical reference to (read while the slot reference was held), so
+    /// every node on the sublist is live until its decrement below.
     unsafe fn traverse(&mut self, mut next: *mut SmrNode<T>) -> i64 {
         let handle = self.handle;
         let mut count = 0i64;
@@ -225,6 +231,12 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
     /// Figure 5's `retire`: insert into slots that are active *and* whose
     /// access era reaches the batch's minimum birth era; acknowledge
     /// insertions in `Ack`.
+    ///
+    /// # Safety
+    ///
+    /// `fin` must come from this handle's own `LocalBatch::finalize` with at
+    /// least `k + 1` chain nodes that no other thread has seen yet, and
+    /// `k`/`adjs` must be the values the batch was finalized against.
     unsafe fn insert_batch(&mut self, fin: FinalizedBatch<T>, k: usize, adjs: usize) {
         let domain = self.domain;
         // Order the pre-retire unlinks before the access-era reads below.
@@ -273,6 +285,11 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
     /// Finalizes the local batch against the *current* slot count: pads
     /// with dummies up to `k + 1` nodes if the directory grew since the
     /// batch was sized, stores `Adjs = 2^64 / k` in the batch, and inserts.
+    ///
+    /// # Safety
+    ///
+    /// The local batch must be non-empty, with every node owned by this
+    /// handle and unpublished.
     unsafe fn finalize_and_insert(&mut self) {
         let domain = self.domain;
         let k = domain.dir.k();
@@ -293,6 +310,8 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
         }
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
+            // SAFETY: a REFS node enters `reap` only when its batch's NRef
+            // crossed zero, so no thread can still reference the batch.
             freed += unsafe { free_batch(refs) };
         }
         self.local_stats.on_free(&self.domain.stats, freed);
@@ -349,6 +368,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
             let mut next = ptr::null_mut();
             if curr != self.handle {
                 debug_assert!(!curr.is_null());
+                // SAFETY: a non-handle head exists only while we (an active
+                // thread) hold a reference to it, so reading its Next is safe.
                 next = unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) }
                     as *mut SmrNode<T>;
             }
@@ -365,9 +386,13 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
             }
         };
         if old_head.refs() == 1 && !curr.is_null() {
+            // SAFETY: `curr` was the head we just detached; the batch stays
+            // live until this final credit is applied.
             unsafe { adjust_slot_credit(curr, 0, &mut self.reap) };
         }
         if curr != self.handle {
+            // SAFETY: `next` was read from `curr` while our slot reference
+            // pinned the sublist; traverse releases it exactly once.
             let count = unsafe { self.traverse(next) };
             slot.ack.fetch_sub(count, Ordering::Relaxed);
         }
@@ -382,8 +407,11 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
         let curr: *mut SmrNode<T> = head.ptr();
         if curr != self.handle {
             debug_assert!(!curr.is_null());
+            // SAFETY: we are still inside the operation, so the head and its
+            // sublist are pinned by our slot reference.
             let next =
                 unsafe { header(curr).word(W_NEXT).load(Ordering::Acquire) } as *mut SmrNode<T>;
+            // SAFETY: as above — the sublist is pinned until traversed.
             let count = unsafe { self.traverse(next) };
             slot.ack.fetch_sub(count, Ordering::Relaxed);
             self.handle = curr;
@@ -401,6 +429,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
         }
         self.local_stats.on_alloc(&domain.stats);
         let node = SmrNode::alloc(value);
+        // SAFETY: `node` is a fresh, unshared allocation; stamping its birth
+        // era in the header word races with nobody.
         unsafe {
             (*node.as_ptr())
                 .header()
@@ -410,6 +440,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
         Shared::from_node(node)
     }
 
+    // SAFETY: per the `SmrHandle::dealloc` contract the node was never
+    // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
         self.local_stats.on_dealloc(&self.domain.stats);
         SmrNode::dealloc(ptr.as_node_ptr(), true);
@@ -434,6 +466,8 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
         }
     }
 
+    // SAFETY: per the `SmrHandle::retire` contract the node is unlinked from
+    // every shared structure, so batching it for deferred free is sound.
     unsafe fn retire(&mut self, ptr: Shared<T>) {
         debug_assert!(self.active, "retire outside an operation");
         let domain = self.domain;
@@ -449,6 +483,7 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
 
     fn flush(&mut self) {
         if !self.batch.is_empty() {
+            // SAFETY: the batch is non-empty and wholly owned by this handle.
             unsafe { self.finalize_and_insert() };
         }
         self.drain();
@@ -462,6 +497,7 @@ impl<T: Send + 'static> Drop for HyalineSHandle<'_, T> {
             self.leave();
         }
         if !self.batch.is_empty() {
+            // SAFETY: the batch is non-empty and wholly owned by this handle.
             unsafe { self.finalize_and_insert() };
         }
         self.drain();
@@ -493,6 +529,7 @@ mod tests {
             for i in 0..200u64 {
                 h.enter();
                 let node = h.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { h.retire(node) };
                 h.leave();
             }
@@ -507,9 +544,11 @@ mod tests {
         let mut h = d.handle();
         h.enter();
         let node = h.alloc(1);
+        // SAFETY: `node` is live and local; reading its header word is safe.
         let birth = unsafe { node.header() }.word(W_NEXT).load(Ordering::Relaxed) as u64;
         assert!(birth >= 1, "birth era must be stamped");
         assert!(birth <= d.era());
+        // SAFETY: `node` was never published; no other reference exists.
         unsafe { h.retire(node) };
         h.leave();
     }
@@ -529,6 +568,7 @@ mod tests {
         assert_eq!(seen, node);
         let slot_era = d.dir.slot(h.slot()).access.load(Ordering::SeqCst);
         assert_eq!(slot_era, d.era(), "deref must sync the slot era");
+        // SAFETY: `link` is local to this test; no other thread sees `node`.
         unsafe { h.retire(node) };
         h.leave();
     }
@@ -556,6 +596,7 @@ mod tests {
             for i in 0..10_000u64 {
                 worker.enter();
                 let node = worker.alloc(i);
+                // SAFETY: `node` was never published; no other reference exists.
                 unsafe { worker.retire(node) };
                 worker.leave();
             }
@@ -627,6 +668,7 @@ mod tests {
                     for i in 0..2_000u64 {
                         h.enter();
                         let node = h.alloc(t * 1_000_000 + i);
+                        // SAFETY: the node is thread-local until retired.
                         unsafe { h.retire(node) };
                         h.leave();
                     }

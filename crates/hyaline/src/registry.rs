@@ -114,6 +114,9 @@ impl SlotDirectory {
         debug_assert!(i < self.k());
         let bank = self.banks[s].load(Ordering::Acquire);
         debug_assert!(!bank.is_null());
+        // SAFETY: `i < k` implies this bank was installed (banks are only
+        // published together with the grown `k`), and banks are never freed
+        // before the directory itself drops.
         unsafe { &*bank.add(i - base) }
     }
 
@@ -137,7 +140,8 @@ impl SlotDirectory {
                 )
                 .is_err()
             {
-                // A concurrent thread installed the bank; discard ours.
+                // SAFETY: the CAS failed, so `candidate` was never published
+                // and this thread still owns it exclusively.
                 unsafe { Self::drop_bank(candidate, self.bank_len(s)) };
             }
         }
@@ -148,6 +152,12 @@ impl SlotDirectory {
         true
     }
 
+    /// Frees a slot bank.
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must describe a bank from `alloc_bank` that is no longer
+    /// reachable by any thread.
     unsafe fn drop_bank(ptr: *mut CachePadded<SlotS>, len: usize) {
         drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
     }
@@ -158,6 +168,8 @@ impl Drop for SlotDirectory {
         for s in 0..DIR_ENTRIES {
             let ptr = self.banks[s].load(Ordering::Acquire);
             if !ptr.is_null() {
+                // SAFETY: we hold `&mut self`, so no thread can still reach
+                // any bank; each installed bank is freed exactly once.
                 unsafe { Self::drop_bank(ptr, self.bank_len(s)) };
             }
         }

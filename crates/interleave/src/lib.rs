@@ -24,6 +24,12 @@
 //! are the paper's robustness claims (Theorem 4): an unreclaimed batch
 //! must be pinned by a stalled slot whose access era covered its birth.
 //!
+//! Beyond the modelled algorithms, the [`llsc`] module explores the §4.4
+//! LL/SC port of the head operations (Figure 7) by stepping the *real*
+//! [`hyaline::llsc::Granule`] primitives one atomic action at a time —
+//! including a fault-injected single-width-claim variant proving that the
+//! reservation granule must span both head words.
+//!
 //! The exploration assumes **sequential consistency**: it interleaves atomic
 //! actions but does not model weaker memory orderings. The production crates
 //! use acquire/release (and seq-cst where required); this checker validates
@@ -46,10 +52,12 @@
 #![warn(missing_docs)]
 
 pub mod explorer;
+pub mod llsc;
 pub mod model;
 pub mod pool;
 pub mod scenarios;
 
 pub use explorer::{Explorer, Outcome, Violation};
+pub use llsc::{LlscFault, LlscOutcome, LlscScenario, LlscViolation};
 pub use model::{HyalineModel, ModelConfig, ThreadProgram, Variant};
 pub use pool::{PoolOp, PoolOutcome, PoolScenario, PoolViolation};

@@ -376,8 +376,11 @@ mod tests {
         stats: SmrStats,
     }
 
-    // The raw pointers in `limbo` are exclusively owned retired nodes.
+    // SAFETY: the raw pointers in `limbo` are exclusively owned retired
+    // nodes, moved with the Mutex that guards them.
     unsafe impl Send for ToyDomain {}
+    // SAFETY: `readers`/`stats` are atomics and `limbo` is Mutex-protected,
+    // so shared access from any thread is synchronized.
     unsafe impl Sync for ToyDomain {}
 
     impl Smr<u64> for ToyDomain {

@@ -209,9 +209,12 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut SmrNode<T>>,
 }
 
-// An `Atomic<T>` is a shared link to nodes that may be accessed and
-// reclaimed from any thread, so it is Send/Sync exactly when the payload is.
+// SAFETY: an `Atomic<T>` is a shared link to nodes that may be accessed and
+// reclaimed from any thread, so it is Send exactly when the payload is both
+// Send and Sync; the link itself is a single atomic word.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above — all concurrent access goes through atomic operations
+// on the raw word, and payload access requires `T: Send + Sync`.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Default for Atomic<T> {

@@ -1,0 +1,553 @@
+//! The ratcheted baseline: recorded per-file/per-rule debt that may only
+//! shrink.
+//!
+//! `lint-baseline.json` is committed at the workspace root. Each entry maps
+//! a file (workspace-relative, `/`-separated) to its accepted violation
+//! counts per rule. The ratchet compares a fresh scan against it:
+//!
+//! * count **above** baseline → **regression**: new debt was introduced;
+//!   always an error.
+//! * count **below** baseline (or file gone) → **stale** entry: debt was
+//!   paid down but the baseline still records it. A warning by default; an
+//!   error under `--strict` so CI forces the ratchet to actually tighten
+//!   (run `--update-baseline` and commit the shrunken file).
+//! * count equal → accepted debt, reported but not fatal.
+//!
+//! The JSON is hand-rolled (no serde in the offline environment) and kept
+//! deliberately small: one object, sorted file keys, sorted rule keys, so
+//! regenerated baselines diff cleanly in review.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::rules::{FileAnalysis, Rule};
+
+/// Format version stamped into the baseline file.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The committed debt ledger: file → rule name → accepted violation count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-file accepted counts. Only nonzero counts are recorded.
+    pub files: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Builds the baseline that exactly matches a scan (the
+    /// `--update-baseline` output).
+    pub fn from_scan<'a>(scan: impl IntoIterator<Item = (&'a String, &'a FileAnalysis)>) -> Self {
+        let mut files = BTreeMap::new();
+        for (path, analysis) in scan {
+            let mut rules = BTreeMap::new();
+            for rule in Rule::ALL {
+                let n = analysis.count(rule) as u64;
+                if n > 0 {
+                    rules.insert(rule.as_str().to_string(), n);
+                }
+            }
+            if !rules.is_empty() {
+                files.insert(path.clone(), rules);
+            }
+        }
+        Baseline { files }
+    }
+
+    /// Accepted count for one file/rule (0 when unlisted).
+    pub fn accepted(&self, file: &str, rule: Rule) -> u64 {
+        self.files
+            .get(file)
+            .and_then(|rules| rules.get(rule.as_str()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total accepted violations.
+    pub fn total(&self) -> u64 {
+        self.files.values().flat_map(|r| r.values()).sum()
+    }
+
+    /// Serializes the baseline (pretty, sorted, trailing newline).
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {SCHEMA_VERSION},");
+        s.push_str("  \"files\": {");
+        let mut first_file = true;
+        for (path, rules) in &self.files {
+            if !first_file {
+                s.push(',');
+            }
+            first_file = false;
+            let _ = write!(s, "\n    \"{}\": {{", escape(path));
+            let mut first_rule = true;
+            for (rule, count) in rules {
+                if !first_rule {
+                    s.push_str(", ");
+                }
+                first_rule = false;
+                let _ = write!(s, "\"{}\": {count}", escape(rule));
+            }
+            s.push('}');
+        }
+        if !self.files.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses a baseline file's contents.
+    pub fn decode(src: &str) -> Result<Self, String> {
+        let mut p = MiniJson {
+            chars: src.chars().collect(),
+            i: 0,
+        };
+        p.skip_ws();
+        let top = p.object()?;
+        p.skip_ws();
+        if p.i != p.chars.len() {
+            return Err(format!("trailing characters at offset {}", p.i));
+        }
+        let mut files = BTreeMap::new();
+        let mut schema = None;
+        for (key, value) in top {
+            match (key.as_str(), value) {
+                ("schema", Value::Num(n)) => {
+                    schema = Some(
+                        n.parse::<u64>()
+                            .map_err(|_| format!("`schema`: `{n}` is not a u64"))?,
+                    );
+                }
+                ("files", Value::Obj(entries)) => {
+                    for (path, rules_value) in entries {
+                        let Value::Obj(rule_entries) = rules_value else {
+                            return Err(format!("file `{path}`: expected an object"));
+                        };
+                        let mut rules = BTreeMap::new();
+                        for (rule_name, count) in rule_entries {
+                            if Rule::parse(&rule_name).is_none() {
+                                return Err(format!(
+                                    "file `{path}`: unknown rule `{rule_name}`"
+                                ));
+                            }
+                            let Value::Num(n) = count else {
+                                return Err(format!(
+                                    "file `{path}` rule `{rule_name}`: expected a number"
+                                ));
+                            };
+                            let n: u64 = n.parse().map_err(|_| {
+                                format!("file `{path}` rule `{rule_name}`: bad count `{n}`")
+                            })?;
+                            if n > 0 {
+                                rules.insert(rule_name, n);
+                            }
+                        }
+                        if !rules.is_empty() {
+                            files.insert(path, rules);
+                        }
+                    }
+                }
+                // Unknown top-level fields are ignored (forward compat).
+                _ => {}
+            }
+        }
+        match schema {
+            Some(s) if s <= SCHEMA_VERSION => Ok(Baseline { files }),
+            Some(s) => Err(format!(
+                "baseline schema {s} is newer than this tool ({SCHEMA_VERSION})"
+            )),
+            None => Err("missing `schema` field".into()),
+        }
+    }
+
+    /// Loads a baseline from disk.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::decode(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the baseline to disk.
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.encode())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// One file/rule ratchet comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// The rule compared.
+    pub rule: Rule,
+    /// Violations found by this scan.
+    pub found: u64,
+    /// Violations the baseline accepts.
+    pub accepted: u64,
+}
+
+impl RatchetEntry {
+    /// This entry's verdict.
+    pub fn verdict(&self) -> Verdict {
+        match self.found.cmp(&self.accepted) {
+            std::cmp::Ordering::Greater => Verdict::Regressed,
+            std::cmp::Ordering::Less => Verdict::Stale,
+            std::cmp::Ordering::Equal => Verdict::Accepted,
+        }
+    }
+}
+
+/// Outcome of one file/rule comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Found == accepted > 0: known debt, tolerated.
+    Accepted,
+    /// Found > accepted: new violations — always an error.
+    Regressed,
+    /// Found < accepted: debt shrank (or the file vanished) but the
+    /// baseline still records it — the ratchet must be tightened.
+    Stale,
+}
+
+/// The full ratchet comparison of a scan against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetReport {
+    /// All file/rule pairs where found or accepted is nonzero.
+    pub entries: Vec<RatchetEntry>,
+}
+
+impl RatchetReport {
+    /// Compares a scan against the baseline.
+    pub fn compare<'a>(
+        scan: impl IntoIterator<Item = (&'a String, &'a FileAnalysis)>,
+        baseline: &Baseline,
+    ) -> Self {
+        let mut entries = Vec::new();
+        let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+        let scan: Vec<_> = scan.into_iter().collect();
+        for (path, analysis) in &scan {
+            seen.insert(path.as_str(), ());
+            for rule in Rule::ALL {
+                let found = analysis.count(rule) as u64;
+                let accepted = baseline.accepted(path, rule);
+                if found > 0 || accepted > 0 {
+                    entries.push(RatchetEntry {
+                        file: (*path).clone(),
+                        rule,
+                        found,
+                        accepted,
+                    });
+                }
+            }
+        }
+        // Baseline entries for files the scan no longer sees are stale.
+        for (path, rules) in &baseline.files {
+            if seen.contains_key(path.as_str()) {
+                continue;
+            }
+            for (rule_name, &accepted) in rules {
+                let rule = Rule::parse(rule_name).expect("validated at decode");
+                entries.push(RatchetEntry {
+                    file: path.clone(),
+                    rule,
+                    found: 0,
+                    accepted,
+                });
+            }
+        }
+        entries.sort_by(|a, b| (&a.file, a.rule).cmp(&(&b.file, b.rule)));
+        RatchetReport { entries }
+    }
+
+    /// Entries with the given verdict.
+    pub fn with_verdict(&self, verdict: Verdict) -> impl Iterator<Item = &RatchetEntry> {
+        self.entries.iter().filter(move |e| e.verdict() == verdict)
+    }
+
+    /// Any new violations?
+    pub fn regressed(&self) -> bool {
+        self.with_verdict(Verdict::Regressed).next().is_some()
+    }
+
+    /// Any stale baseline entries?
+    pub fn stale(&self) -> bool {
+        self.with_verdict(Verdict::Stale).next().is_some()
+    }
+
+    /// The gate verdict: `Ok` to pass, `Err` with the reason to fail.
+    /// Strict mode additionally fails on stale entries.
+    pub fn gate(&self, strict: bool) -> Result<(), String> {
+        let new: u64 = self
+            .with_verdict(Verdict::Regressed)
+            .map(|e| e.found - e.accepted)
+            .sum();
+        if new > 0 {
+            return Err(format!(
+                "{new} new violation(s) above the baseline ratchet"
+            ));
+        }
+        if strict && self.stale() {
+            let stale = self.with_verdict(Verdict::Stale).count();
+            return Err(format!(
+                "{stale} stale baseline entr{} (debt shrank — run --update-baseline and \
+                 commit the tightened file)",
+                if stale == 1 { "y" } else { "ies" }
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A value of the tiny JSON subset the baseline uses: objects, strings and
+/// non-negative integers. (No arrays/bools/null — the format never emits
+/// them, and rejecting them keeps the parser honest about what it accepts.)
+enum Value {
+    Num(String),
+    /// Parsed (so unknown string-valued fields skip cleanly) but never
+    /// inspected: the known fields are all numbers or objects.
+    #[allow(dead_code)]
+    Str(String),
+    Obj(Vec<(String, Value)>),
+}
+
+struct MiniJson {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl MiniJson {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of input")?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected `{want}`, got `{got}` at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            '{' => Ok(Value::Obj(self.object()?)),
+            '"' => Ok(Value::Str(self.string()?)),
+            '0'..='9' => {
+                let start = self.i;
+                while matches!(self.peek(), Some('0'..='9')) {
+                    self.i += 1;
+                }
+                Ok(Value::Num(self.chars[start..self.i].iter().collect()))
+            }
+            c => Err(format!("unexpected character `{c}` at offset {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.next()? {
+                ',' => continue,
+                '}' => return Ok(fields),
+                c => return Err(format!("expected `,` or `}}`, got `{c}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                '"' => return Ok(out),
+                '\\' => match self.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next()?;
+                            v = v * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| format!("invalid hex digit `{c}`"))?;
+                        }
+                        out.push(
+                            char::from_u32(v).ok_or_else(|| format!("invalid codepoint {v:#x}"))?,
+                        );
+                    }
+                    c => return Err(format!("invalid escape `\\{c}`")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze;
+
+    fn scan_of(entries: &[(&str, &str)]) -> Vec<(String, FileAnalysis)> {
+        entries
+            .iter()
+            .map(|(path, src)| (path.to_string(), analyze(path, src)))
+            .collect()
+    }
+
+    fn as_refs(scan: &[(String, FileAnalysis)]) -> Vec<(&String, &FileAnalysis)> {
+        scan.iter().map(|(p, a)| (p, a)).collect()
+    }
+
+    const DIRTY: &str = "fn f(p: *mut u8) { unsafe { *p = 1 } }\n";
+    const CLEAN: &str = "fn f() {}\n";
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let scan = scan_of(&[
+            ("crates/a/src/lib.rs", DIRTY),
+            ("crates/b/src/lib.rs", CLEAN),
+            ("crates/c/src/lib.rs", "static mut X: u8 = 0;\nfn g(p: *mut u8) { unsafe { *p = 1 } }\n"),
+        ]);
+        let baseline = Baseline::from_scan(as_refs(&scan));
+        assert_eq!(baseline.accepted("crates/a/src/lib.rs", Rule::Safety), 1);
+        assert_eq!(baseline.accepted("crates/b/src/lib.rs", Rule::Safety), 0);
+        assert_eq!(baseline.accepted("crates/c/src/lib.rs", Rule::Forbidden), 1);
+        let back = Baseline::decode(&baseline.encode()).expect("decodes");
+        assert_eq!(back, baseline);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let empty = Baseline::default();
+        let back = Baseline::decode(&empty.encode()).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn unknown_rule_and_newer_schema_rejected() {
+        assert!(Baseline::decode("{\"schema\": 1, \"files\": {\"a.rs\": {\"mystery\": 1}}}")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(Baseline::decode("{\"schema\": 999, \"files\": {}}")
+            .unwrap_err()
+            .contains("newer"));
+        assert!(Baseline::decode("{\"files\": {}}").unwrap_err().contains("schema"));
+        assert!(Baseline::decode("not json").is_err());
+    }
+
+    #[test]
+    fn ratchet_equal_counts_pass_both_modes() {
+        let scan = scan_of(&[("crates/a/src/lib.rs", DIRTY)]);
+        let baseline = Baseline::from_scan(as_refs(&scan));
+        let report = RatchetReport::compare(as_refs(&scan), &baseline);
+        assert!(!report.regressed());
+        assert!(!report.stale());
+        assert!(report.gate(false).is_ok());
+        assert!(report.gate(true).is_ok());
+    }
+
+    #[test]
+    fn ratchet_growth_fails_both_modes() {
+        let old = scan_of(&[("crates/a/src/lib.rs", DIRTY)]);
+        let baseline = Baseline::from_scan(as_refs(&old));
+        let grown = scan_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 1 } }\nfn g(p: *mut u8) { unsafe { *p = 2 } }\n",
+        )]);
+        let report = RatchetReport::compare(as_refs(&grown), &baseline);
+        assert!(report.regressed());
+        assert!(report.gate(false).is_err());
+        assert!(report.gate(true).unwrap_err().contains("new violation"));
+    }
+
+    #[test]
+    fn ratchet_shrink_is_stale_strict_only_failure() {
+        let old = scan_of(&[("crates/a/src/lib.rs", DIRTY)]);
+        let baseline = Baseline::from_scan(as_refs(&old));
+        let fixed = scan_of(&[("crates/a/src/lib.rs", CLEAN)]);
+        let report = RatchetReport::compare(as_refs(&fixed), &baseline);
+        assert!(!report.regressed());
+        assert!(report.stale());
+        assert!(report.gate(false).is_ok(), "paying down debt never blocks locally");
+        assert!(report.gate(true).unwrap_err().contains("stale"));
+    }
+
+    #[test]
+    fn deleted_file_entry_is_stale() {
+        let old = scan_of(&[("crates/gone/src/lib.rs", DIRTY)]);
+        let baseline = Baseline::from_scan(as_refs(&old));
+        let now = scan_of(&[("crates/a/src/lib.rs", CLEAN)]);
+        let report = RatchetReport::compare(as_refs(&now), &baseline);
+        assert!(report.stale());
+        assert_eq!(report.with_verdict(Verdict::Stale).count(), 1);
+        assert!(report.gate(true).is_err());
+    }
+
+    #[test]
+    fn new_file_debt_regresses_against_empty_baseline() {
+        let scan = scan_of(&[("crates/new/src/lib.rs", DIRTY)]);
+        let report = RatchetReport::compare(as_refs(&scan), &Baseline::default());
+        assert!(report.regressed());
+    }
+
+    #[test]
+    fn update_then_compare_is_always_clean() {
+        let scan = scan_of(&[
+            ("crates/a/src/lib.rs", DIRTY),
+            ("crates/b/src/lib.rs", "static mut X: u8 = 0;\n"),
+        ]);
+        let updated = Baseline::from_scan(as_refs(&scan));
+        let report = RatchetReport::compare(as_refs(&scan), &updated);
+        assert!(report.gate(true).is_ok());
+    }
+}

@@ -1,0 +1,407 @@
+//! A hand-written, comment/string/raw-string aware Rust lexer.
+//!
+//! The rules in [`crate::rules`] are line-oriented: "is there a `// SAFETY:`
+//! comment adjacent to this `unsafe` block?", "does this statement cast a
+//! `Relaxed` load to a raw pointer?". So rather than a token tree, the lexer
+//! produces a *split view* of the source: for every line, the code text with
+//! all comments and literal contents blanked out, and separately the comment
+//! text. Blanking (instead of deleting) keeps every surviving character at
+//! its original line, so rule diagnostics point at real source lines.
+//!
+//! Handled surface:
+//!
+//! * line comments (`//`, `///`, `//!`), recorded as comment text;
+//! * block comments (`/* .. */`) **with nesting**, including multi-line;
+//! * string literals with escapes (`"\"unsafe\""` is not code);
+//! * raw strings `r"…"` / `r#"…"#` / arbitrarily many hashes, plus the
+//!   byte-string forms `b"…"`, `br#"…"#` — the word `unsafe` inside one is
+//!   literal data, never code;
+//! * char literals (`'a'`, `'\n'`, `'\u{1F600}'`, `b'x'`) distinguished
+//!   from lifetimes (`'a` in `&'a T`).
+
+/// The split view of one source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Per-line code text: comments and string/char-literal contents are
+    /// replaced by spaces, so column positions are preserved. Lines are
+    /// 0-indexed here; rules report them 1-indexed.
+    pub code: Vec<String>,
+    /// Per-line comment text (both `//…` bodies and block-comment bodies
+    /// falling on that line), concatenated when a line carries several.
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// 1-indexed accessor for a line's code text (empty past EOF).
+    pub fn code_line(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.code.get(i))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// 1-indexed accessor for a line's comment text (empty past EOF).
+    pub fn comment_line(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.comments.get(i))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// What the scanner is currently inside of.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth ≥ 1.
+    BlockComment(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Lexes one file into its code/comment split view.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // True when the previous code character could end an identifier or
+    // literal, in which case a following `"` cannot start a (raw) string
+    // prefix and a `'` is more likely a lifetime than a char literal.
+    let mut prev_ident = false;
+    let mut i = 0;
+
+    macro_rules! newline {
+        () => {{
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                // Raw / byte string prefixes: r" r#" br" b" etc. Only when
+                // not glued to a preceding identifier (`var"` is not Rust).
+                if !prev_ident && (c == 'r' || c == 'b') {
+                    if let Some((hashes, consumed)) = raw_string_start(&chars[i..]) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"'); // keep a marker so `""` stays visible
+                        i += consumed;
+                        prev_ident = false;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        state = State::Str;
+                        code.push_str(" \"");
+                        i += 2;
+                        prev_ident = false;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime. `'\…'` is always a literal;
+                    // `'X'` (any single char then a quote) is a literal;
+                    // everything else (`'a` in `&'a T`, `'static`) is a
+                    // lifetime and stays code. After an identifier (`b'x'`
+                    // handled via the same quote logic) the rule is the same.
+                    match chars.get(i + 1) {
+                        Some('\\') => {
+                            // Escape: skip to the closing quote.
+                            code.push_str("' ");
+                            i += 2;
+                            while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if chars.get(i) == Some(&'\'') {
+                                code.push('\'');
+                                i += 1;
+                            }
+                            prev_ident = true;
+                            continue;
+                        }
+                        Some(&next) if chars.get(i + 2) == Some(&'\'') && next != '\'' => {
+                            code.push_str("'  ");
+                            i += 3;
+                            prev_ident = true;
+                            continue;
+                        }
+                        _ => {
+                            // Lifetime: emit the quote and continue as code.
+                            code.push('\'');
+                            i += 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                }
+                code.push(c);
+                prev_ident = c.is_alphanumeric() || c == '_';
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        comment.push_str("*/");
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2; // skip the escaped char (a `\"` must not close)
+                    if chars.get(i - 1) == Some(&'\n') {
+                        // A line continuation: the newline was consumed.
+                        code.pop();
+                        newline!();
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars[i + 1..], hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    newline!();
+    Lexed {
+        code: code_lines,
+        comments: comment_lines,
+    }
+}
+
+/// If `chars` begins a raw-string prefix (`r`, `br`, with 0+ hashes and an
+/// opening quote), returns `(hash_count, chars_consumed_through_quote)`.
+fn raw_string_start(chars: &[char]) -> Option<(u32, usize)> {
+    let mut j = 0;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` starts with `hashes` consecutive `#` characters.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joined_code(src: &str) -> String {
+        lex(src).code.join("\n")
+    }
+
+    fn joined_comments(src: &str) -> String {
+        lex(src).comments.join("\n")
+    }
+
+    #[test]
+    fn line_comments_are_not_code() {
+        let src = "let x = 1; // unsafe { }\n";
+        assert!(!joined_code(src).contains("unsafe"));
+        assert!(joined_comments(src).contains("unsafe { }"));
+    }
+
+    #[test]
+    fn doc_comments_with_code_fences_are_comments() {
+        let src = "/// ```\n/// unsafe { h.retire(node) };\n/// ```\nfn f() {}\n";
+        assert!(!joined_code(src).contains("unsafe"));
+        assert!(joined_comments(src).contains("unsafe { h.retire"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ unsafe {}\n";
+        let code = joined_code(src);
+        assert!(code.contains("unsafe {}"));
+        assert_eq!(code.matches("unsafe").count(), 1, "only the real one");
+        assert!(joined_comments(src).contains("inner unsafe"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_swallows_rest() {
+        let src = "/* open\nunsafe {}\n";
+        assert!(!joined_code(src).contains("unsafe"));
+    }
+
+    #[test]
+    fn plain_strings_are_blanked() {
+        let src = "let s = \"unsafe { // not a comment\"; unsafe {}\n";
+        let code = joined_code(src);
+        assert_eq!(code.matches("unsafe").count(), 1);
+        assert!(joined_comments(src).is_empty() || !joined_comments(src).contains("not"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let src = r#"let s = "a\"unsafe"; let t = 1;"#;
+        assert!(!joined_code(src).contains("unsafe"));
+        assert!(joined_code(src).contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_string_with_unsafe_inside() {
+        let src = "let s = r#\"unsafe { static mut X }\"#; unsafe {}\n";
+        let code = joined_code(src);
+        assert_eq!(code.matches("unsafe").count(), 1);
+        assert!(!code.contains("static mut"));
+    }
+
+    #[test]
+    fn raw_string_hash_nesting() {
+        // The `"#` inside must not close an `r##"…"##` string.
+        let src = "let s = r##\"inner \"# unsafe \"##; let y = 2;\n";
+        let code = joined_code(src);
+        assert!(!code.contains("unsafe"));
+        assert!(code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn multi_line_raw_string() {
+        let src = "let s = r#\"line one\nunsafe {\nline three\"#;\nlet z = 3;\n";
+        let code = joined_code(src);
+        assert!(!code.contains("unsafe"));
+        assert!(code.contains("let z = 3;"));
+        // Line structure preserved: 5 lines in, 5 lines out.
+        assert_eq!(lex(src).code.len(), 5);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_raw_strings() {
+        let src = "let a = b\"unsafe\"; let b2 = br#\"unsafe\"#; fn f() {}\n";
+        let code = joined_code(src);
+        assert!(!code.contains("unsafe"));
+        assert!(code.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_before_string() {
+        // `var` ends in `r` but `var"…"` must not be parsed as a raw string
+        // (it is not valid Rust; the lexer must still not be derailed).
+        let src = "foo(bar, \"unsafe\");\n";
+        assert!(!joined_code(src).contains("unsafe"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = '\"'; let q = '\\''; fn f<'a>(x: &'a str) {} let s = \"unsafe\";\n";
+        let code = joined_code(src);
+        assert!(!code.contains("unsafe"), "quote char literal must not open a string");
+        assert!(code.contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let src = "let c = '\\u{1F600}'; let s = \"unsafe\";\n";
+        assert!(!joined_code(src).contains("unsafe"));
+    }
+
+    #[test]
+    fn comment_markers_survive_per_line() {
+        let src = "// SAFETY: fine\nunsafe { x() };\n";
+        let l = lex(src);
+        assert!(l.comment_line(1).contains("SAFETY:"));
+        assert!(l.code_line(2).contains("unsafe {"));
+        assert!(l.comment_line(2).is_empty());
+    }
+
+    #[test]
+    fn columns_preserved_by_blanking() {
+        let src = "let x = \"ab\"; unsafe {}\n";
+        let l = lex(src);
+        // The `unsafe` keyword must still start at its original column.
+        assert_eq!(l.code_line(1).find("unsafe"), src.find("unsafe"));
+    }
+}

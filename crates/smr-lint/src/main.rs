@@ -1,0 +1,159 @@
+//! The `smr-lint` command-line gate.
+//!
+//! ```text
+//! smr-lint [--root DIR] [--baseline FILE] [--strict] [--update-baseline]
+//!          [--report FILE] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean (or baseline updated), `1` gate failure (new
+//! violations; stale baseline under `--strict`), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smr_lint::baseline::Baseline;
+use smr_lint::{report, Scan, BASELINE_FILE};
+
+struct Options {
+    root: PathBuf,
+    baseline: PathBuf,
+    strict: bool,
+    update_baseline: bool,
+    report_path: Option<PathBuf>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: smr-lint [--root DIR] [--baseline FILE] [--strict] \
+[--update-baseline] [--report FILE] [--list]
+
+  --root DIR          workspace root to scan (default: .)
+  --baseline FILE     ratchet file (default: <root>/lint-baseline.json)
+  --strict            CI mode: also fail on stale baseline entries
+  --update-baseline   rewrite the baseline to match this scan and exit 0
+  --report FILE       write the full report (all sites listed) to FILE
+  --list              list every violation site, accepted debt included";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut update_baseline = false;
+    let mut report_path = None;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory")?,
+                ))
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?))
+            }
+            "--strict" => strict = true,
+            "--update-baseline" => update_baseline = true,
+            "--report" => {
+                report_path = Some(PathBuf::from(it.next().ok_or("--report needs a file")?))
+            }
+            "--list" => list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let baseline = baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+    Ok(Options {
+        root,
+        baseline,
+        strict,
+        update_baseline,
+        report_path,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("smr-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scan = match Scan::workspace(&opts.root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("smr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if scan.files.is_empty() {
+        eprintln!(
+            "smr-lint: no lintable files under {} (is --root the workspace root?)",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if opts.update_baseline {
+        let baseline = scan.to_baseline();
+        if let Err(e) = baseline.store(&opts.baseline) {
+            eprintln!("smr-lint: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "smr-lint: wrote {} ({} accepted violation(s) across {} file(s))",
+            opts.baseline.display(),
+            baseline.total(),
+            baseline.files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.baseline.exists() {
+        match Baseline::load(&opts.baseline) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("smr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if opts.strict {
+        eprintln!(
+            "smr-lint: --strict requires a committed baseline ({} not found)",
+            opts.baseline.display()
+        );
+        return ExitCode::from(2);
+    } else {
+        Baseline::default()
+    };
+
+    let ratchet = scan.ratchet(&baseline);
+    print!("{}", report::render(&scan, &ratchet, opts.list));
+    if let Some(path) = &opts.report_path {
+        let full = report::render(&scan, &ratchet, true);
+        if let Err(e) = std::fs::write(path, full) {
+            eprintln!("smr-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("smr-lint: report written to {}", path.display());
+    }
+
+    match ratchet.gate(opts.strict) {
+        Ok(()) => {
+            println!("smr-lint: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(reason) => {
+            eprintln!("smr-lint: FAIL — {reason}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Human-readable lint reports (terminal output and the CI artifact).
+
+use std::fmt::Write as _;
+
+use crate::baseline::{RatchetReport, Verdict};
+use crate::rules::{FileAnalysis, OrderingInventory, Rule};
+use crate::scan::Scan;
+
+/// Renders the full report: ratchet verdicts, violation sites, and the
+/// memory-ordering inventory. With `list_accepted`, every violation site is
+/// listed (the CI-artifact mode); otherwise only files with regressions
+/// have their sites printed, keeping local output focused on what changed.
+pub fn render(scan: &Scan, ratchet: &RatchetReport, list_accepted: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "smr-lint: scanned {} files", scan.files.len());
+
+    let mut inventory = OrderingInventory::default();
+    let mut unsafe_sites = 0usize;
+    for (_, analysis) in &scan.files {
+        inventory.relaxed += analysis.orderings.relaxed;
+        inventory.acquire += analysis.orderings.acquire;
+        inventory.release += analysis.orderings.release;
+        inventory.acq_rel += analysis.orderings.acq_rel;
+        inventory.seq_cst += analysis.orderings.seq_cst;
+        unsafe_sites += analysis.unsafe_sites;
+    }
+    let _ = writeln!(
+        s,
+        "  unsafe sites: {unsafe_sites} | ordering sites: {} \
+         (Relaxed {}, Acquire {}, Release {}, AcqRel {}, SeqCst {})",
+        inventory.total(),
+        inventory.relaxed,
+        inventory.acquire,
+        inventory.release,
+        inventory.acq_rel,
+        inventory.seq_cst,
+    );
+
+    let total_found: u64 = ratchet.entries.iter().map(|e| e.found).sum();
+    let accepted: u64 = ratchet.entries.iter().map(|e| e.accepted).sum();
+    let _ = writeln!(
+        s,
+        "  violations: {total_found} found, {accepted} accepted by baseline"
+    );
+
+    let regressions: Vec<_> = ratchet.with_verdict(Verdict::Regressed).collect();
+    let stale: Vec<_> = ratchet.with_verdict(Verdict::Stale).collect();
+
+    if !regressions.is_empty() {
+        s.push_str("\nREGRESSIONS (above the ratchet):\n");
+        for entry in &regressions {
+            let _ = writeln!(
+                s,
+                "  {} [{}]: {} found, {} accepted (+{})",
+                entry.file,
+                entry.rule.as_str(),
+                entry.found,
+                entry.accepted,
+                entry.found - entry.accepted
+            );
+            if let Some(analysis) = scan.analysis(&entry.file) {
+                push_sites(&mut s, &entry.file, analysis, entry.rule);
+            }
+        }
+    }
+
+    if !stale.is_empty() {
+        s.push_str("\nSTALE baseline entries (debt shrank — tighten the ratchet):\n");
+        for entry in &stale {
+            let _ = writeln!(
+                s,
+                "  {} [{}]: {} found, {} accepted",
+                entry.file,
+                entry.rule.as_str(),
+                entry.found,
+                entry.accepted
+            );
+        }
+        s.push_str("  run `cargo run -p smr-lint -- --update-baseline` and commit.\n");
+    }
+
+    if list_accepted {
+        s.push_str("\nAll violation sites:\n");
+        let mut any = false;
+        for (path, analysis) in &scan.files {
+            if analysis.violations.is_empty() {
+                continue;
+            }
+            any = true;
+            for rule in Rule::ALL {
+                if analysis.count(rule) > 0 {
+                    push_sites(&mut s, path, analysis, rule);
+                }
+            }
+        }
+        if !any {
+            s.push_str("  (none)\n");
+        }
+    }
+    s
+}
+
+fn push_sites(s: &mut String, path: &str, analysis: &FileAnalysis, rule: Rule) {
+    for v in analysis.violations.iter().filter(|v| v.rule == rule) {
+        let _ = writeln!(s, "    {path}:{}: {}", v.line, v.message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::scan::Scan;
+
+    fn scan_of(entries: &[(&str, &str)]) -> Scan {
+        Scan::from_sources(entries.iter().map(|&(p, s)| (p.to_string(), s.to_string())))
+    }
+
+    #[test]
+    fn report_lists_regressions_with_sites() {
+        let scan = scan_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 1 } }\n",
+        )]);
+        let ratchet = scan.ratchet(&Baseline::default());
+        let text = render(&scan, &ratchet, false);
+        assert!(text.contains("REGRESSIONS"));
+        assert!(text.contains("crates/a/src/lib.rs:1:"));
+        assert!(text.contains("unsafe` block without"));
+    }
+
+    #[test]
+    fn clean_scan_reports_no_sections() {
+        let scan = scan_of(&[("crates/a/src/lib.rs", "fn f() {}\n")]);
+        let ratchet = scan.ratchet(&Baseline::default());
+        let text = render(&scan, &ratchet, false);
+        assert!(!text.contains("REGRESSIONS"));
+        assert!(!text.contains("STALE"));
+        assert!(text.contains("violations: 0 found"));
+    }
+
+    #[test]
+    fn stale_entries_point_at_update_baseline() {
+        let dirty = scan_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 1 } }\n",
+        )]);
+        let baseline = dirty.to_baseline();
+        let clean = scan_of(&[("crates/a/src/lib.rs", "fn f() {}\n")]);
+        let text = render(&clean, &clean.ratchet(&baseline), false);
+        assert!(text.contains("STALE"));
+        assert!(text.contains("--update-baseline"));
+    }
+
+    #[test]
+    fn list_mode_includes_accepted_sites() {
+        let scan = scan_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 1 } }\n",
+        )]);
+        let baseline = scan.to_baseline();
+        let ratchet = scan.ratchet(&baseline);
+        let quiet = render(&scan, &ratchet, false);
+        assert!(!quiet.contains("crates/a/src/lib.rs:1:"), "accepted debt is quiet");
+        let loud = render(&scan, &ratchet, true);
+        assert!(loud.contains("crates/a/src/lib.rs:1:"));
+    }
+}

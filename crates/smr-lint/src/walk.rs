@@ -1,0 +1,126 @@
+//! Deterministic workspace file discovery.
+//!
+//! The lint covers every `.rs` file under `crates/*/src` and `shims/*/src`
+//! plus the workspace-root `src/` — the compiled production surface. Crate
+//! `tests/`, `benches/` and `examples/` directories are deliberately out of
+//! scope (the safety rules are about the code that ships; integration tests
+//! exercise public, safe APIs). Paths are returned workspace-relative with
+//! `/` separators and sorted, so scans, reports and baselines are stable
+//! across hosts.
+
+use std::path::{Path, PathBuf};
+
+/// Discovers all lintable files under `root` (the workspace root).
+/// Returns `(relative_path, absolute_path)` pairs, sorted by relative path.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, root, &mut out)?;
+    }
+    for group in ["crates", "shims"] {
+        let group_dir = root.join(group);
+        if !group_dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&group_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, root, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    out: &mut Vec<(String, PathBuf)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked paths start at root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_tree(files: &[&str]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "smr-lint-walk-{}-{:p}",
+            std::process::id(),
+            &files
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        for f in files {
+            let path = root.join(f);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, "fn f() {}\n").unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn walks_crates_shims_and_root_src_only() {
+        let root = scratch_tree(&[
+            "src/lib.rs",
+            "crates/alpha/src/lib.rs",
+            "crates/alpha/src/bin/tool.rs",
+            "crates/alpha/tests/integration.rs",
+            "crates/alpha/benches/bench.rs",
+            "crates/beta/src/deep/nested.rs",
+            "shims/gamma/src/lib.rs",
+            "examples/demo.rs",
+            "crates/alpha/src/README.md",
+        ]);
+        // The .md file must be skipped even though it lives under src.
+        std::fs::write(root.join("crates/alpha/src/README.md"), "# hi").unwrap();
+        let files = workspace_files(&root).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert_eq!(
+            rels,
+            [
+                "crates/alpha/src/bin/tool.rs",
+                "crates/alpha/src/lib.rs",
+                "crates/beta/src/deep/nested.rs",
+                "shims/gamma/src/lib.rs",
+                "src/lib.rs",
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_root_is_empty_scan() {
+        let root = scratch_tree(&[]);
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(workspace_files(&root).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,16 @@
+//! Golden fixture: forbidden APIs — `static mut`, `thread::sleep` outside
+//! bench/test code, and `mem::forget` on a handle type.
+
+use std::time::Duration;
+
+static mut COUNTER: u64 = 0;
+
+pub struct Handle;
+
+pub fn spin() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn leak(handle: Handle) {
+    std::mem::forget(handle);
+}

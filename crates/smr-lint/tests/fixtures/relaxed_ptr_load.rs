@@ -1,0 +1,8 @@
+//! Golden fixture: a `Relaxed` atomic load cast to a raw pointer in the
+//! same statement, with no `// ORDERING:` justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn head(slot: &AtomicUsize) -> *mut u64 {
+    slot.load(Ordering::Relaxed) as *mut u64
+}

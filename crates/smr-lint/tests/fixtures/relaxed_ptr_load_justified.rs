@@ -1,0 +1,9 @@
+//! Golden fixture: the same `Relaxed` pointer-bearing load, justified.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn head(slot: &AtomicUsize) -> *mut u64 {
+    // ORDERING: Relaxed suffices — the pointer was published with Release
+    // before this structure became reachable.
+    slot.load(Ordering::Relaxed) as *mut u64
+}

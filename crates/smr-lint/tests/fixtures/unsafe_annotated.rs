@@ -1,0 +1,16 @@
+//! Golden fixture: every unsafe site carries a justification.
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read(p: *mut u8) -> u8 {
+    // SAFETY: guaranteed valid by this function's own contract.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is exclusively owned by the wrapper.
+unsafe impl Send for Wrapper {}

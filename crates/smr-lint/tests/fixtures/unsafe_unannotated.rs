@@ -1,0 +1,5 @@
+//! Golden fixture: an `unsafe` block with no adjacent justification.
+
+pub fn read(p: *mut u8) -> u8 {
+    unsafe { *p }
+}

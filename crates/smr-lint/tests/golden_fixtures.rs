@@ -1,0 +1,176 @@
+//! Golden-fixture tests: each fixture under `tests/fixtures/` is planted in
+//! a scratch workspace and the `smr-lint` binary is run over it, asserting
+//! the CLI exit codes the CI gate relies on (0 clean, 1 gate failure).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use smr_lint::rules::{analyze, Rule};
+
+const BIN: &str = env!("CARGO_BIN_EXE_smr-lint");
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// A scratch workspace with one crate, torn down on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str, source: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "smr-lint-golden-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates/fix/src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("lib.rs"), source).unwrap();
+        Scratch { root }
+    }
+
+    fn write_source(&self, source: &str) {
+        fs::write(self.root.join("crates/fix/src/lib.rs"), source).unwrap();
+    }
+
+    fn lint(&self, args: &[&str]) -> (i32, String) {
+        let out = Command::new(BIN)
+            .arg("--root")
+            .arg(&self.root)
+            .args(args)
+            .output()
+            .expect("spawn smr-lint");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.code().expect("exit code"), text)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn unannotated_unsafe_fails_strict() {
+    let ws = Scratch::new("unsafe-bad", &fixture("unsafe_annotated.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0, "baseline over the clean fixture");
+    ws.write_source(&fixture("unsafe_unannotated.rs"));
+    let (code, text) = ws.lint(&["--strict"]);
+    assert_eq!(code, 1, "new unannotated unsafe must fail strict:\n{text}");
+    assert!(text.contains("REGRESSIONS"), "report names the regression:\n{text}");
+    assert!(text.contains("SAFETY"), "report explains what is missing:\n{text}");
+}
+
+#[test]
+fn annotated_unsafe_passes_strict() {
+    let ws = Scratch::new("unsafe-good", &fixture("unsafe_annotated.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0);
+    let (code, text) = ws.lint(&["--strict"]);
+    assert_eq!(code, 0, "annotated fixture must pass:\n{text}");
+    assert!(text.contains("violations: 0 found"), "{text}");
+}
+
+#[test]
+fn relaxed_pointer_load_caught_and_justifiable() {
+    let bad = analyze("crates/fix/src/lib.rs", &fixture("relaxed_ptr_load.rs"));
+    assert_eq!(bad.count(Rule::Ordering), 1, "Relaxed pointer load caught");
+
+    let good = analyze(
+        "crates/fix/src/lib.rs",
+        &fixture("relaxed_ptr_load_justified.rs"),
+    );
+    assert_eq!(good.count(Rule::Ordering), 0, "ORDERING: comment accepted");
+
+    // End to end: introducing the unjustified load on a clean baseline fails.
+    let ws = Scratch::new("relaxed", &fixture("relaxed_ptr_load_justified.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0);
+    ws.write_source(&fixture("relaxed_ptr_load.rs"));
+    let (code, text) = ws.lint(&["--strict"]);
+    assert_eq!(code, 1, "new Relaxed pointer load must fail strict:\n{text}");
+    assert!(text.contains("ORDERING"), "{text}");
+}
+
+#[test]
+fn forbidden_apis_fixture_counts() {
+    let analysis = analyze("crates/fix/src/lib.rs", &fixture("forbidden_apis.rs"));
+    assert_eq!(
+        analysis.count(Rule::Forbidden),
+        3,
+        "static mut + sleep + forget-on-handle: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn ratchet_shrink_is_stale_only_under_strict() {
+    let ws = Scratch::new("shrink", &fixture("unsafe_unannotated.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0, "debt accepted into the baseline");
+    let (code, _) = ws.lint(&["--strict"]);
+    assert_eq!(code, 0, "accepted debt passes strict");
+
+    // Pay the debt down; the baseline is now stale.
+    ws.write_source(&fixture("unsafe_annotated.rs"));
+    let (code, text) = ws.lint(&[]);
+    assert_eq!(code, 0, "stale entries are advisory locally:\n{text}");
+    assert!(text.contains("STALE"), "{text}");
+    let (code, text) = ws.lint(&["--strict"]);
+    assert_eq!(code, 1, "strict forces the ratchet to tighten:\n{text}");
+    assert!(text.contains("--update-baseline"), "{text}");
+
+    // Re-ratchet and the gate closes again.
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0);
+    let (code, _) = ws.lint(&["--strict"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn ratchet_growth_fails_even_without_strict() {
+    let ws = Scratch::new("grow", &fixture("unsafe_annotated.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0);
+    let grown = format!(
+        "{}\npub fn extra(p: *mut u8) -> u8 {{\n    unsafe {{ *p }}\n}}\n",
+        fixture("unsafe_annotated.rs")
+    );
+    ws.write_source(&grown);
+    let (code, text) = ws.lint(&[]);
+    assert_eq!(code, 1, "growth fails even non-strict:\n{text}");
+}
+
+#[test]
+fn strict_without_baseline_is_a_usage_error() {
+    let ws = Scratch::new("nobase", &fixture("unsafe_annotated.rs"));
+    let (code, text) = ws.lint(&["--strict"]);
+    assert_eq!(code, 2, "strict requires a committed baseline:\n{text}");
+}
+
+#[test]
+fn report_file_lists_accepted_sites() {
+    let ws = Scratch::new("report", &fixture("unsafe_unannotated.rs"));
+    let (code, _) = ws.lint(&["--update-baseline"]);
+    assert_eq!(code, 0);
+    let report = ws.root.join("lint-report.txt");
+    let (code, _) = ws.lint(&["--report", report.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    let text = fs::read_to_string(&report).unwrap();
+    assert!(
+        text.contains("crates/fix/src/lib.rs:4:"),
+        "artifact lists accepted debt sites:\n{text}"
+    );
+}

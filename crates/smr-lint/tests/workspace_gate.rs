@@ -1,0 +1,85 @@
+//! Tier-1 gate: the live workspace must pass `smr-lint --strict` against the
+//! committed baseline, and the `crates/hyaline` core must be at zero debt.
+
+use std::path::Path;
+
+use smr_lint::baseline::Baseline;
+use smr_lint::{Scan, BASELINE_FILE};
+
+fn workspace_root() -> &'static Path {
+    // crates/smr-lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn workspace_passes_strict_gate() {
+    let root = workspace_root();
+    let scan = Scan::workspace(root).expect("scan workspace");
+    assert!(!scan.files.is_empty(), "walker found no sources");
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = Baseline::load(&baseline_path)
+        .unwrap_or_else(|e| panic!("committed {BASELINE_FILE} must load: {e}"));
+
+    let ratchet = scan.ratchet(&baseline);
+    if let Err(reason) = ratchet.gate(true) {
+        let mut sites = String::new();
+        for entry in ratchet.with_verdict(smr_lint::baseline::Verdict::Regressed) {
+            if let Some(analysis) = scan.analysis(&entry.file) {
+                for v in &analysis.violations {
+                    if v.rule == entry.rule {
+                        sites.push_str(&format!("  {}:{}: {}\n", entry.file, v.line, v.message));
+                    }
+                }
+            }
+        }
+        panic!(
+            "smr-lint strict gate failed: {reason}\n{sites}\
+             fix the sites (add `// SAFETY:` / `// ORDERING:` justifications) or, \
+             for paid-down debt, run `cargo run -p smr-lint -- --update-baseline`"
+        );
+    }
+}
+
+#[test]
+fn hyaline_core_has_zero_debt() {
+    let root = workspace_root();
+    let scan = Scan::workspace(root).expect("scan workspace");
+    let baseline = Baseline::load(&root.join(BASELINE_FILE)).expect("load baseline");
+
+    let mut hyaline_seen = 0usize;
+    for (path, analysis) in &scan.files {
+        if !path.starts_with("crates/hyaline/") {
+            continue;
+        }
+        hyaline_seen += 1;
+        assert!(
+            analysis.violations.is_empty(),
+            "{path} must stay at zero lint debt, found: {:?}",
+            analysis.violations
+        );
+    }
+    assert!(hyaline_seen >= 5, "expected the hyaline sources to be scanned");
+
+    for file in baseline.files.keys() {
+        assert!(
+            !file.starts_with("crates/hyaline/"),
+            "baseline must not accept debt in the hyaline core ({file})"
+        );
+    }
+}
+
+#[test]
+fn workspace_unsafe_inventory_is_tracked() {
+    // The inventory is what makes the report useful as a CI artifact: it
+    // must see the workspace's unsafe blocks and ordering sites.
+    let scan = Scan::workspace(workspace_root()).expect("scan workspace");
+    let unsafe_sites: usize = scan.files.iter().map(|(_, a)| a.unsafe_sites).sum();
+    let orderings: usize = scan.files.iter().map(|(_, a)| a.orderings.total()).sum();
+    assert!(unsafe_sites > 100, "unsafe inventory too small: {unsafe_sites}");
+    assert!(orderings > 100, "ordering inventory too small: {orderings}");
+}

@@ -132,6 +132,7 @@ pub struct Tracked<T> {
 // counters are only accessed through atomic operations, and the pointer's
 // validity is the documented registry-outlives-payloads contract.
 unsafe impl<T: Send> Send for Tracked<T> {}
+// SAFETY: as above — shared access only touches the atomic counters.
 unsafe impl<T: Sync> Sync for Tracked<T> {}
 
 impl<T> Tracked<T> {

@@ -16,7 +16,10 @@ pub struct CachePadded<T> {
     value: T,
 }
 
+// SAFETY: padding and alignment add no shared state; `CachePadded<T>` is a
+// transparent wrapper, so it is Send exactly when `T` is.
 unsafe impl<T: Send> Send for CachePadded<T> {}
+// SAFETY: as above — shared access is shared access to the inner `T`.
 unsafe impl<T: Sync> Sync for CachePadded<T> {}
 
 impl<T> CachePadded<T> {
