@@ -17,10 +17,15 @@
 //! snapshots with the `perfgate` binary.
 
 use bench_harness::cli::{cli_args, BenchScale};
+use bench_harness::driver::{BenchParams, RunResult};
 use bench_harness::figures::{robustness_figure_recorded, throughput_figures_recorded};
 use bench_harness::registry::{ALL_SCHEMES, FIGURE_SCHEMES, STRUCTURES};
 use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 use bench_harness::workload::OpMix;
+use hyaline::Hyaline;
+use lockfree_ds::{ConcurrentMap, MichaelHashMap};
+use smr_async::{run_kv_service, KvConfig};
+use smr_core::{HandlePool, Sharded, SmrHandle};
 use std::path::PathBuf;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +36,11 @@ enum Sweep {
     /// Task-per-core pattern: workers far outnumber the registry budget and
     /// draw handles from a shared pool every few operations.
     HandleChurn,
+    /// Connection-scale async service: tens of thousands of cooperative
+    /// tasks multiplex a `Sharded<Hyaline>` hash map through a handle
+    /// registry capped near the hardware thread count, with deferred
+    /// check-ins drained by background reclaimer tasks.
+    KvService,
 }
 
 impl Sweep {
@@ -40,6 +50,7 @@ impl Sweep {
             "oversubscription" => Some(Self::Oversubscription),
             "robustness" => Some(Self::Robustness),
             "handle-churn" => Some(Self::HandleChurn),
+            "kv-service" => Some(Self::KvService),
             _ => None,
         }
     }
@@ -49,11 +60,11 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("sweep: error: {msg}");
     eprintln!(
         "usage: sweep [--out FILE] \
-         [--sweeps thread-scaling,oversubscription,robustness,handle-churn] \
+         [--sweeps thread-scaling,oversubscription,robustness,handle-churn,kv-service] \
          [--structures hashmap,... | all] [--schemes Hyaline,Sharded-Hyaline,...] \
          [--mix write-intensive|read-mostly] \
          [bench scale flags: --secs --trials --threads --slots --shards \
-         --handle-churn --max-threads ...]"
+         --handle-churn --connections --max-threads ...]"
     );
     std::process::exit(2);
 }
@@ -200,6 +211,17 @@ fn main() {
                     println!("{unrec}");
                 }
             }
+            Sweep::KvService => {
+                // Connections come from --connections when given; the
+                // default axis ends at the 10k-connection point the async
+                // service layer exists for.
+                let axis: Vec<u64> = if scale.base.connections != 0 {
+                    vec![scale.base.connections]
+                } else {
+                    vec![256, 2048, 10_000]
+                };
+                run_kv_sweep(&scale.base, &axis, mix, cores, &mut sink);
+            }
             Sweep::Robustness => {
                 let active = cores.max(2);
                 let max_stalled = scale.stalled.iter().copied().max().unwrap_or(8);
@@ -223,4 +245,84 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// Runs the async KV service at each connection count and records one
+/// `kv-service` point per run: Mops/s plus the peak retired-but-unreclaimed
+/// estimate (`avg_unreclaimed` carries the peak here — for a fixed-work
+/// async run the high-water mark is the number that catches a reclaimer
+/// regression).
+///
+/// The scheme/structure pair is fixed (`Sharded-Hyaline` over the hash
+/// map): the sweep exists to vary `connections`, not to re-race schemes.
+/// The registry cap is `--max-threads` clamped to 2× the hardware threads,
+/// so tens of thousands of connections multiplex a pool of at most a few
+/// handles; executor workers come from `--threads` so the perf-gate key
+/// stays host-independent when both flags are pinned.
+fn run_kv_sweep(base: &BenchParams, axis: &[u64], mix: OpMix, cores: usize, sink: &mut ResultSink) {
+    let (get_pct, put_pct) = match mix {
+        // The thread-driven sweeps' mixes, translated to get/put/delete:
+        // write-intensive is half inserts half deletes; read-mostly is 90%
+        // gets with the rest split between insert and delete.
+        OpMix::WriteIntensive => (0, 50),
+        OpMix::ReadMostly => (90, 5),
+    };
+    let capacity = base.config.max_threads.min(2 * cores).max(1);
+    let workers = base.threads.max(1);
+    let reclaim_shards = base.config.shards.clamp(1, 4);
+    println!(
+        "== kv-service: Sharded-Hyaline hashmap, registry cap {capacity}, \
+         {workers} worker(s), {reclaim_shards} reclaimer(s) ==\n"
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "connections", "ops", "Mops/s", "peak-unrecl", "flushed", "swept"
+    );
+    for &connections in axis {
+        let map: MichaelHashMap<u64, u64, Sharded<Hyaline<_>>> =
+            MichaelHashMap::with_config(base.config.clone());
+        let pool = HandlePool::new(map.domain(), capacity);
+        {
+            let mut handle = pool.checkout();
+            for key in 0..(base.prefill as u64).min(base.key_range) {
+                handle.enter();
+                map.map_insert(&mut handle, key, key);
+                handle.leave();
+            }
+        }
+        let cfg = KvConfig {
+            connections: connections as usize,
+            ops_per_connection: 64,
+            burst: 16,
+            key_range: base.key_range,
+            get_pct,
+            put_pct,
+            reclaim_shards,
+            queue_capacity: 64,
+            workers,
+            seed: base.seed,
+        };
+        let report = run_kv_service(&map, &pool, &cfg);
+        let result = RunResult {
+            mops: report.mops(),
+            avg_unreclaimed: report.peak_unreclaimed as f64,
+            ops: report.ops,
+            retired: 0,
+            freed: 0,
+        };
+        let mut params = base.clone();
+        params.mix = mix;
+        params.connections = connections;
+        sink.record("kv-service", "Sharded-Hyaline", "hashmap", &params, &result);
+        println!(
+            "{:>12} {:>10} {:>10.3} {:>12} {:>10} {:>10}",
+            connections,
+            report.ops,
+            report.mops(),
+            report.peak_unreclaimed,
+            report.reclaim.flushed,
+            report.reclaim.swept
+        );
+    }
+    println!();
 }

@@ -9,7 +9,9 @@
 //! `--routing by-key|by-pointer` (`HYALINE_BENCH_ROUTING`) selects the
 //! sharded routing mode,
 //! `--handle-churn N` (`HYALINE_BENCH_HANDLE_CHURN`) makes workers return
-//! their handles to a shared pool every `N` operations, and
+//! their handles to a shared pool every `N` operations,
+//! `--connections N` (`HYALINE_BENCH_CONNECTIONS`) sets the simulated
+//! connection count of the async `kv-service` sweep, and
 //! `--max-threads N` (`HYALINE_BENCH_MAX_THREADS`) pins the registry/pool
 //! capacity (set it below the thread count to exercise oversubscribed
 //! pooling with host-independent perf-gate keys).
@@ -171,6 +173,9 @@ impl BenchScale {
         scalar("HYALINE_BENCH_HANDLE_CHURN", "a number", &mut |raw| {
             raw.parse().map(|v| self.base.handle_churn = v).is_ok()
         });
+        scalar("HYALINE_BENCH_CONNECTIONS", "a number", &mut |raw| {
+            raw.parse().map(|v| self.base.connections = v).is_ok()
+        });
         scalar("HYALINE_BENCH_MAX_THREADS", "a nonzero count", &mut |raw| {
             parse_nonzero(raw)
                 .map(|v| self.base.config.max_threads = v)
@@ -216,6 +221,7 @@ impl BenchScale {
                     | "--shards"
                     | "--routing"
                     | "--handle-churn"
+                    | "--connections"
                     | "--max-threads"
             );
             if !known {
@@ -234,6 +240,7 @@ impl BenchScale {
                     .map(|v| self.base.config.routing = v)
                     .is_some(),
                 "--handle-churn" => raw.parse().map(|v| self.base.handle_churn = v).is_ok(),
+                "--connections" => raw.parse().map(|v| self.base.connections = v).is_ok(),
                 "--max-threads" => parse_nonzero(raw)
                     .map(|v| self.base.config.max_threads = v)
                     .is_some(),
@@ -346,12 +353,13 @@ mod tests {
     fn layout_flags_set_config_and_reject_non_powers_of_two() {
         let mut scale = BenchScale::default();
         let warnings = scale.apply_args(&strings(&[
-            "--slots", "64", "--shards", "8", "--handle-churn", "32",
+            "--slots", "64", "--shards", "8", "--handle-churn", "32", "--connections", "10000",
         ]));
         assert!(warnings.is_empty(), "{warnings:?}");
         assert_eq!(scale.base.config.slots, 64);
         assert_eq!(scale.base.config.shards, 8);
         assert_eq!(scale.base.handle_churn, 32);
+        assert_eq!(scale.base.connections, 10_000);
         let default_slots = scale.base.config.slots;
         let warnings = scale.apply_args(&strings(&["--slots", "6", "--shards", "0"]));
         assert_eq!(warnings.len(), 2, "{warnings:?}");

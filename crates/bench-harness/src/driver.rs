@@ -49,6 +49,13 @@ pub struct BenchParams {
     /// where short-lived tasks far outnumber registry slots. `0` keeps the
     /// classic one-handle-per-thread loop.
     pub handle_churn: u64,
+    /// Connection-driven workload (the async `kv-service` sweep): when
+    /// nonzero, this many simulated connections multiplex over the handle
+    /// registry instead of `threads` OS workers driving it directly. `0`
+    /// keeps the classic thread-driven loop; the thread-driven driver in
+    /// this module ignores the knob, it is consumed by the sweep binary
+    /// and recorded in the results schema.
+    pub connections: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +75,7 @@ impl Default for BenchParams {
             use_trim: false,
             trim_window: 64,
             handle_churn: 0,
+            connections: 0,
             seed: 0x5EED,
         }
     }

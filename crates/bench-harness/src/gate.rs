@@ -97,6 +97,8 @@ pub struct ComboKey {
     pub handle_churn: u64,
     /// Shard routing mode label ("by-key" / "by-pointer").
     pub routing: String,
+    /// Simulated connections (0 = thread-driven run).
+    pub connections: u64,
 }
 
 impl ComboKey {
@@ -125,6 +127,7 @@ impl ComboKey {
             shards: r.shards,
             handle_churn: r.handle_churn,
             routing: r.routing.clone(),
+            connections: r.connections,
         }
     }
 }
@@ -149,6 +152,9 @@ impl fmt::Display for ComboKey {
         }
         if self.handle_churn > 0 {
             write!(f, " churn={}", self.handle_churn)?;
+        }
+        if self.connections > 0 {
+            write!(f, " conns={}", self.connections)?;
         }
         write!(
             f,

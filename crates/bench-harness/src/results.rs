@@ -25,8 +25,10 @@ use crate::driver::{BenchParams, RunResult};
 ///
 /// Version 2 added `shards`, `handle_churn` and `routing`; version-1 lines
 /// decode with the pre-sharding defaults (`shards = 1`, `handle_churn = 0`,
-/// `routing = "by-key"`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// `routing = "by-key"`). Version 3 added `connections` (the async
+/// `kv-service` sweep's simulated-connection count); earlier lines decode
+/// with `connections = 0`, i.e. "not a connection-driven run".
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One benchmark measurement with full configuration provenance.
 ///
@@ -92,6 +94,9 @@ pub struct BenchRecord {
     /// Shard routing mode as configured (`"by-key"` / `"by-pointer"`;
     /// meaningful only to `Sharded-*` schemes, recorded verbatim).
     pub routing: String,
+    /// Simulated connections of an async-service run (`0` = the run was
+    /// thread-driven, not connection-driven).
+    pub connections: u64,
     /// Git revision the binary was built from, if discoverable.
     pub git_sha: Option<String>,
     /// `available_parallelism` of the measuring host.
@@ -190,6 +195,7 @@ impl BenchRecord {
             shards: params.config.shards as u64,
             handle_churn: params.handle_churn,
             routing: params.config.routing.short_label().to_string(),
+            connections: params.connections,
             git_sha: prov.git_sha.clone(),
             host_cores: prov.host_cores,
             timestamp: prov.timestamp.clone(),
@@ -231,6 +237,7 @@ impl BenchRecord {
         push_u64(&mut s, "shards", self.shards);
         push_u64(&mut s, "handle_churn", self.handle_churn);
         push_str(&mut s, "routing", &self.routing);
+        push_u64(&mut s, "connections", self.connections);
         match &self.git_sha {
             Some(sha) => push_str(&mut s, "git_sha", sha),
             None => push_null(&mut s, "git_sha"),
@@ -309,6 +316,7 @@ impl BenchRecord {
             shards: get_u64_or("shards", 1)?,
             handle_churn: get_u64_or("handle_churn", 0)?,
             routing: get_str_or("routing", "by-key")?,
+            connections: get_u64_or("connections", 0)?,
             git_sha,
             host_cores: get_u64("host_cores")?,
             timestamp: get_str("timestamp")?,
@@ -782,6 +790,17 @@ mod tests {
         assert_eq!(back.shards, 1);
         assert_eq!(back.handle_churn, 0);
         assert_eq!(back.routing, "by-key");
+    }
+
+    #[test]
+    fn schema_two_lines_decode_with_zero_connections() {
+        // A record written before `connections` existed (the committed v2
+        // baselines) must decode as a thread-driven run.
+        let mut line = sample_record().encode();
+        line = line.replace("\"connections\":0,", "");
+        assert!(!line.contains("connections"));
+        let back = BenchRecord::decode(&line).expect("schema-2 line decodes");
+        assert_eq!(back.connections, 0);
     }
 
     #[test]

@@ -76,6 +76,7 @@ proptest! {
             max_threads: counters.2 % (1 << 32),
             shards: counters.3 % (1 << 16),
             handle_churn: counters.0 % (1 << 32),
+            connections: counters.1 ^ more_ints.0,
             routing: if flags.0 { "by-key" } else { "by-pointer" }.to_string(),
             git_sha: git_sha_some.then(|| string_from(git_sha)),
             host_cores: counters.3,

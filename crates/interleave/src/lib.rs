@@ -28,7 +28,12 @@
 //! LL/SC port of the head operations (Figure 7) by stepping the *real*
 //! [`hyaline::llsc::Granule`] primitives one atomic action at a time —
 //! including a fault-injected single-width-claim variant proving that the
-//! reservation granule must span both head words.
+//! reservation granule must span both head words. The [`reclaimer`] module
+//! likewise explores the `smr-async` deferred-flush hand-off protocol —
+//! dirty check-ins, ticket pushes, background drains, and the shutdown
+//! handshake — with fault-injected variants (acknowledging shutdown before
+//! draining, dropping a refused ticket, double-freeing a batch) that the
+//! end-state and join-point invariants must catch.
 //!
 //! The exploration assumes **sequential consistency**: it interleaves atomic
 //! actions but does not model weaker memory orderings. The production crates
@@ -55,9 +60,11 @@ pub mod explorer;
 pub mod llsc;
 pub mod model;
 pub mod pool;
+pub mod reclaimer;
 pub mod scenarios;
 
 pub use explorer::{Explorer, Outcome, Violation};
 pub use llsc::{LlscFault, LlscOutcome, LlscScenario, LlscViolation};
 pub use model::{HyalineModel, ModelConfig, ThreadProgram, Variant};
 pub use pool::{PoolOp, PoolOutcome, PoolScenario, PoolViolation};
+pub use reclaimer::{ReclaimerFault, ReclaimerOutcome, ReclaimerScenario, ReclaimerViolation};

@@ -1,0 +1,478 @@
+//! A dependency-free scoped multi-worker executor.
+//!
+//! The workspace builds offline, so instead of tokio this module provides
+//! the minimal executor the SMR service layer needs: a fixed pool of worker
+//! threads polling tasks from one shared injector queue. There is no I/O
+//! reactor and no timer wheel — every wakeup comes from another task (or
+//! from a domain-side waker such as [`smr_core::HandlePool::check_out`]),
+//! which is exactly the shape of an SMR service workload.
+//!
+//! Two properties matter for the service layer and drive the design:
+//!
+//! * **Borrowed tasks.** Service tasks borrow the reclamation domain, the
+//!   [`smr_core::HandlePool`], and the data structure from the caller's
+//!   stack frame; requiring `'static` futures would force `Arc`-wrapping
+//!   every domain. [`scope`] therefore mirrors [`std::thread::scope`]: all
+//!   tasks are guaranteed to have run to completion (and their futures
+//!   dropped) before `scope` returns, so futures may borrow anything that
+//!   outlives the call.
+//! * **No blocking primitives in task context.** Workers park on a
+//!   [`Condvar`] when the injector is empty; tasks themselves must never
+//!   call `thread::sleep`/`thread::park` (enforced by `smr-lint`) — they
+//!   yield with [`yield_now`] or await a waker-backed primitive instead.
+//!
+//! Worker threads are OS threads, so `scope(workers, ..)` with `workers >=
+//! 1` makes progress even on a single-core host; tens of thousands of
+//! cooperative tasks multiplex over that fixed worker set.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// State shared between the scope owner, the workers, and every task waker.
+struct Shared {
+    /// FIFO injector; tasks are pushed here when spawned or woken.
+    injector: Mutex<VecDeque<Arc<Task>>>,
+    /// Signalled when the injector gains a task, a task completes, or
+    /// shutdown begins.
+    available: Condvar,
+    /// Tasks spawned but not yet run to completion.
+    live: AtomicUsize,
+    /// Set once the scope has quiesced; workers exit when they see it.
+    shutdown: AtomicBool,
+    /// First panic payload captured from a task, re-raised at scope exit.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            injector: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            live: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn lock_injector(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<Task>>> {
+        // Poisoning only happens if a worker panicked outside catch_unwind;
+        // the queue itself is always in a consistent state.
+        self.injector.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, task: Arc<Task>) {
+        self.lock_injector().push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Marks one task complete; wakes everyone when the scope quiesces so
+    /// the owner thread can observe `live == 0`.
+    fn task_done(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock_injector();
+            self.available.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+}
+
+/// One spawned task: the future plus its re-queue latch.
+struct Task {
+    /// `None` once the future has completed (or panicked); stale wakeups
+    /// after that are no-ops.
+    future: Mutex<Option<BoxFuture>>,
+    /// True while the task sits in the injector, so concurrent wakes
+    /// enqueue it exactly once.
+    queued: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let shared = self.shared.clone();
+            shared.push(self);
+        }
+    }
+}
+
+/// Polls one task, catching panics so a failing task cannot take its worker
+/// thread (and the whole scope) down with it.
+fn run_task(task: Arc<Task>) {
+    // Clear the latch *before* polling: a wake that lands mid-poll must
+    // re-queue the task or its readiness would be lost.
+    task.queued.store(false, Ordering::Release);
+    let waker = Waker::from(task.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut slot = task.future.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(future) = slot.as_mut() else {
+        return; // stale wakeup of a completed task
+    };
+    match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+        Ok(Poll::Pending) => {}
+        Ok(Poll::Ready(())) => {
+            *slot = None;
+            drop(slot);
+            task.shared.task_done();
+        }
+        Err(payload) => {
+            *slot = None;
+            drop(slot);
+            task.shared.record_panic(payload);
+            task.shared.task_done();
+        }
+    }
+}
+
+/// Worker thread body: pop-and-poll until shutdown with an empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.lock_injector();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(task) => run_task(task),
+            None => return,
+        }
+    }
+}
+
+/// The scope owner helps run tasks until every spawned task has completed.
+fn help_until_quiescent(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.lock_injector();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if shared.live.load(Ordering::Acquire) == 0 {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(task) => run_task(task),
+            None => return,
+        }
+    }
+}
+
+/// Spawns borrowed futures into the surrounding [`scope`].
+///
+/// The two lifetimes mirror [`std::thread::Scope`]: `'scope` is the period
+/// the spawner itself is usable, `'env` is the environment tasks may
+/// borrow. The `PhantomData` makes `'scope` invariant so a spawner cannot
+/// be smuggled out of its scope.
+pub struct Spawner<'scope, 'env> {
+    shared: &'scope Arc<Shared>,
+    _marker: PhantomData<&'scope mut &'env ()>,
+}
+
+impl std::fmt::Debug for Spawner<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spawner")
+            .field("live", &self.shared.live.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<'scope, 'env> Spawner<'scope, 'env> {
+    /// Spawns a task. The future may borrow anything that outlives the
+    /// enclosing [`scope`] call; it runs to completion before `scope`
+    /// returns.
+    ///
+    /// A panicking task does not abort its siblings — the first payload is
+    /// re-raised from `scope` after the remaining tasks finish.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'env,
+    {
+        let boxed: Pin<Box<dyn Future<Output = ()> + Send + 'env>> = Box::pin(future);
+        // SAFETY: the future only borrows data outliving 'env, and `scope`
+        // does not return until `live == 0` — i.e. until this future has
+        // been polled to completion (or panicked) and dropped. The only
+        // thing that can outlive the scope is the task shell with its
+        // future slot already `None` (held alive by a stale waker parked
+        // in some external waker registry), which never touches 'env data.
+        // This is the same join-before-return argument std::thread::scope
+        // makes for its borrowed closures.
+        let boxed: BoxFuture = unsafe { std::mem::transmute(boxed) };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(boxed)),
+            queued: AtomicBool::new(true),
+            shared: self.shared.clone(),
+        });
+        self.shared.live.fetch_add(1, Ordering::AcqRel);
+        self.shared.push(task);
+    }
+
+    /// Number of spawned tasks that have not yet run to completion.
+    pub fn live(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+}
+
+/// Runs `f` with a [`Spawner`], then drives every spawned task to
+/// completion on `workers` worker threads (the calling thread helps too)
+/// before returning `f`'s result.
+///
+/// Tasks may borrow any data that outlives the `scope` call itself — the
+/// reclamation domain, a [`smr_core::HandlePool`], a shared map — exactly
+/// like closures under [`std::thread::scope`]. Tasks cannot spawn further
+/// tasks (the spawner is scoped to `f`); spawn the whole fleet up front.
+///
+/// If `f` or any task panics, the scope still drains to quiescence (so no
+/// borrowed future outlives its data) and then re-raises the first panic.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let hits = AtomicUsize::new(0);
+/// smr_async::scope(2, |sp| {
+///     for _ in 0..1000 {
+///         sp.spawn(async {
+///             smr_async::yield_now().await;
+///             hits.fetch_add(1, Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 1000);
+/// ```
+pub fn scope<'env, T, F>(workers: usize, f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Spawner<'scope, 'env>) -> T,
+{
+    assert!(workers >= 1, "executor scope needs at least one worker");
+    let shared = Arc::new(Shared::new());
+    let spawner = Spawner {
+        shared: &shared,
+        _marker: PhantomData,
+    };
+    let result = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || worker_loop(&shared));
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| f(&spawner)));
+        // Quiescence before returning is what makes the 'env transmute in
+        // `spawn` sound — even when `f` itself panicked.
+        help_until_quiescent(&shared);
+        shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = shared.lock_injector();
+            shared.available.notify_all();
+        }
+        result
+        // std::thread::scope joins the workers here.
+    });
+    let value = match result {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(payload),
+    };
+    let task_panic = shared
+        .panic
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(payload) = task_panic {
+        resume_unwind(payload);
+    }
+    value
+}
+
+/// Runs a future to completion on the calling thread, parking on a condvar
+/// between polls.
+///
+/// Usable from inside a [`scope`] closure (the workers keep other tasks
+/// moving while this thread sleeps) or standalone in tests.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct Park {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+    impl Wake for Park {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            *self.woken.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.cv.notify_one();
+        }
+    }
+
+    let park = Arc::new(Park {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(park.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => {
+                let mut woken = park.woken.lock().unwrap_or_else(|e| e.into_inner());
+                while !*woken {
+                    woken = park.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+                }
+                *woken = false;
+            }
+        }
+    }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Cooperatively yields to other tasks: returns `Pending` once, re-queuing
+/// the task at the back of the injector.
+///
+/// This is the service layer's substitute for `thread::sleep`-style
+/// backoff — reclaimers and long-running connections yield between bursts
+/// so ten thousand tasks share a handful of workers fairly.
+pub fn yield_now() -> YieldNow {
+    YieldNow::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_tens_of_thousands_of_tasks() {
+        let sum = AtomicU64::new(0);
+        scope(4, |sp| {
+            for i in 0..20_000u64 {
+                let sum = &sum;
+                sp.spawn(async move {
+                    yield_now().await;
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 19_999 * 20_000 / 2);
+    }
+
+    #[test]
+    fn tasks_borrow_the_callers_stack() {
+        let mut counter = 0u64;
+        {
+            let cell = AtomicU64::new(0);
+            scope(2, |sp| {
+                for _ in 0..64 {
+                    sp.spawn(async {
+                        cell.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            counter += cell.load(Ordering::Relaxed);
+        }
+        assert_eq!(counter, 64);
+    }
+
+    #[test]
+    fn block_on_drives_cross_task_wakeups() {
+        let (tx, rx) = crate::sync::oneshot();
+        let got = scope(2, |sp| {
+            sp.spawn(async move {
+                yield_now().await;
+                tx.send(42u64);
+            });
+            block_on(rx)
+        });
+        assert_eq!(got, Some(42));
+    }
+
+    #[test]
+    fn task_panic_is_reraised_after_quiescence() {
+        let finished = AtomicU64::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |sp| {
+                sp.spawn(async {
+                    panic!("task boom");
+                });
+                for _ in 0..32 {
+                    let finished = &finished;
+                    sp.spawn(async move {
+                        yield_now().await;
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(outcome.is_err(), "panic must propagate out of scope");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            32,
+            "sibling tasks still ran to completion"
+        );
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        // Two tasks ping-ponging a counter: with a single worker the only
+        // way both finish is if yield_now really re-queues.
+        let turns = AtomicU64::new(0);
+        scope(1, |sp| {
+            for _ in 0..2 {
+                let turns = &turns;
+                sp.spawn(async move {
+                    for _ in 0..100 {
+                        turns.fetch_add(1, Ordering::Relaxed);
+                        yield_now().await;
+                    }
+                });
+            }
+        });
+        assert_eq!(turns.load(Ordering::Relaxed), 200);
+    }
+}

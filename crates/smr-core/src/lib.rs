@@ -73,7 +73,7 @@ mod stats;
 pub use config::{ShardRouting, SmrConfig};
 pub use era::EraClock;
 pub use header::{NodeHeader, SmrNode};
-pub use pool::{HandlePool, PooledHandle};
+pub use pool::{CheckOut, HandlePool, PooledHandle};
 pub use registry::SlotRegistry;
 pub use shared::{Atomic, Shared};
 pub use sharded::{Sharded, ShardedHandle};

@@ -10,20 +10,60 @@
 //! while under the cap) and blocks when everything is checked out, instead
 //! of exploding the registry.
 //!
-//! Returning a handle flushes it first, so a parked handle never sits on a
-//! partial batch or an unscanned limbo list while nobody is driving it.
+//! Checkout comes in three flavours: blocking [`HandlePool::checkout`] for
+//! thread-per-task callers, non-blocking [`HandlePool::try_check_out`] for
+//! probing availability without burning a thread, and the async
+//! [`HandlePool::check_out`] future for task-per-core runtimes —
+//! oversubscribed tasks *await* a handle through a FIFO-fair waker queue
+//! instead of blocking an executor worker thread. Async waiters are served
+//! strictly in arrival order; blocking and `try` checkouts barge past the
+//! queue (they are expected on dedicated threads, not executor workers).
+//!
+//! Returning a handle normally flushes it first, so a parked handle never
+//! sits on a partial batch or an unscanned limbo list while nobody is
+//! driving it. A background reclaimer (such as `smr-async`'s per-shard
+//! tasks) can take that flush off the hot path instead:
+//! [`PooledHandle::check_in_dirty`] parks the handle *without* flushing and
+//! [`HandlePool::flush_one_dirty`] lets the reclaimer perform the deferred
+//! flush later. Checkout happily re-issues dirty handles — their batches
+//! simply keep accumulating, exactly as if one task had kept the handle —
+//! so deferred flushing never reduces availability.
 
+use std::collections::VecDeque;
+use std::future::Future;
 use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
 use std::sync::{Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 
 use crate::{Smr, SmrHandle};
 
-struct PoolState<H> {
-    parked: Vec<H>,
-    issued: usize,
+/// One pending async checkout, FIFO-ordered by arrival.
+struct PoolWaiter {
+    ticket: u64,
+    waker: Waker,
 }
 
-/// A blocking pool of reusable handles over one domain.
+struct PoolState<H> {
+    /// Flushed handles ready for immediate reissue.
+    parked: Vec<H>,
+    /// Handles parked via [`PooledHandle::check_in_dirty`]: usable for
+    /// checkout, but still owing a flush to a background reclaimer.
+    dirty: Vec<H>,
+    issued: usize,
+    /// Pending [`CheckOut`] futures in arrival order; only the front waiter
+    /// may take a handle, which makes the async path FIFO-fair.
+    waiters: VecDeque<PoolWaiter>,
+    next_ticket: u64,
+}
+
+impl<H> PoolState<H> {
+    fn take_parked(&mut self) -> Option<H> {
+        self.parked.pop().or_else(|| self.dirty.pop())
+    }
+}
+
+/// A pool of reusable handles over one domain.
 ///
 /// # Example
 ///
@@ -41,7 +81,7 @@ struct PoolState<H> {
 ///                 let mut h = pool.checkout(); // blocks, never panics
 ///                 h.enter();
 ///                 let node = h.alloc(t);
-///                 unsafe { h.retire(node) };
+///                 unsafe { h.retire(node) }; // SAFETY: node is unshared, no readers.
 ///                 h.leave();
 ///             }); // guard drop flushes and parks the handle
 ///         }
@@ -71,7 +111,10 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
             domain,
             state: Mutex::new(PoolState {
                 parked: Vec::with_capacity(capacity),
+                dirty: Vec::new(),
                 issued: 0,
+                waiters: VecDeque::new(),
+                next_ticket: 0,
             }),
             available: Condvar::new(),
             capacity,
@@ -89,18 +132,49 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
         self.lock().issued
     }
 
-    /// Handles currently parked and ready for immediate checkout.
+    /// Handles currently parked and ready for immediate checkout
+    /// (flushed and dirty alike).
     pub fn parked(&self) -> usize {
-        self.lock().parked.len()
+        let state = self.lock();
+        state.parked.len() + state.dirty.len()
+    }
+
+    /// Handles currently held by callers: created minus parked. The
+    /// companion of [`HandlePool::capacity`] for load probes — a service
+    /// can shed work when `checked_out() == capacity()`.
+    pub fn checked_out(&self) -> usize {
+        let state = self.lock();
+        state.issued - state.parked.len() - state.dirty.len()
+    }
+
+    /// Handles parked via [`PooledHandle::check_in_dirty`] that still owe
+    /// a deferred flush.
+    pub fn dirty(&self) -> usize {
+        self.lock().dirty.len()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolState<S::Handle<'d>>> {
         // A task panicking mid-operation poisons the mutex; the pool state
-        // itself (a Vec and a counter) is never left half-updated, so keep
+        // itself (Vecs and counters) is never left half-updated, so keep
         // serving the remaining tasks.
         self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Passes an availability signal on: wakes the front async waiter (only
+    /// the front may take, preserving FIFO order) and one blocked thread.
+    /// Called whenever a handle is parked, a capacity slot is released, or
+    /// a waiter leaves the queue while handles remain available — a woken
+    /// waiter that disappears (cancelled future) must hand the signal on,
+    /// or the availability it absorbed would be lost.
+    fn notify_next(&self, state: &PoolState<S::Handle<'d>>) {
+        if !state.parked.is_empty() || !state.dirty.is_empty() || state.issued < self.capacity {
+            if let Some(front) = state.waiters.front() {
+                front.waker.wake_by_ref();
+            }
+            self.available.notify_one();
+        }
     }
 
     /// Takes a handle, blocking until one is parked or the pool is under
@@ -112,7 +186,7 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
     pub fn checkout(&self) -> PooledHandle<'_, 'd, T, S> {
         let mut state = self.lock();
         loop {
-            if let Some(handle) = state.parked.pop() {
+            if let Some(handle) = state.take_parked() {
                 return self.guard(handle);
             }
             if state.issued < self.capacity {
@@ -129,9 +203,9 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
 
     /// Takes a handle if one is immediately available (parked, or the pool
     /// is under its cap); `None` when the pool is exhausted.
-    pub fn try_checkout(&self) -> Option<PooledHandle<'_, 'd, T, S>> {
+    pub fn try_check_out(&self) -> Option<PooledHandle<'_, 'd, T, S>> {
         let mut state = self.lock();
-        if let Some(handle) = state.parked.pop() {
+        if let Some(handle) = state.take_parked() {
             return Some(self.guard(handle));
         }
         if state.issued < self.capacity {
@@ -140,6 +214,25 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
             return Some(self.guard(self.create()));
         }
         None
+    }
+
+    /// Asynchronously takes a handle: resolves once one is parked or the
+    /// pool is under its creation cap, without blocking the polling thread.
+    ///
+    /// Waiters are served FIFO — the future that started awaiting first
+    /// gets the next handle — so an oversubscribed executor cannot starve
+    /// an old task behind a stream of new ones. Dropping the future before
+    /// it resolves (task cancellation) releases its queue slot and passes
+    /// any pending availability signal to the next waiter; no capacity is
+    /// ever held by a cancelled checkout.
+    ///
+    /// As with [`HandlePool::checkout`], the resolved handle must be
+    /// returned outside of an operation.
+    pub fn check_out(&self) -> CheckOut<'_, 'd, T, S> {
+        CheckOut {
+            pool: self,
+            ticket: None,
+        }
     }
 
     /// Creates a fresh handle for an already-reserved `issued` slot
@@ -153,8 +246,9 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
         }
         impl<T: Send + 'static, S: Smr<T>> Drop for Rollback<'_, '_, T, S> {
             fn drop(&mut self) {
-                self.pool.lock().issued -= 1;
-                self.pool.available.notify_one();
+                let mut state = self.pool.lock();
+                state.issued -= 1;
+                self.pool.notify_next(&state);
             }
         }
         let rollback = Rollback { pool: self };
@@ -173,8 +267,48 @@ impl<'d, T: Send + 'static, S: Smr<T>> HandlePool<'d, T, S> {
     fn check_in(&self, mut handle: S::Handle<'d>) {
         // Push retired nodes out so nothing lingers while the handle parks.
         handle.flush();
-        self.lock().parked.push(handle);
-        self.available.notify_one();
+        let mut state = self.lock();
+        state.parked.push(handle);
+        self.notify_next(&state);
+    }
+
+    /// Parks a handle without flushing (the deferred-flush path of
+    /// [`PooledHandle::check_in_dirty`]).
+    fn park_dirty(&self, handle: S::Handle<'d>) {
+        let mut state = self.lock();
+        state.dirty.push(handle);
+        self.notify_next(&state);
+    }
+
+    /// Flushes one dirty handle, if any, and parks it clean. Returns
+    /// whether a handle was flushed.
+    ///
+    /// This is the reclaimer half of the deferred-flush protocol: tasks
+    /// check handles in dirty (cheap), a background reclaimer calls this
+    /// off the hot path. The handle is held out of the pool only for the
+    /// duration of the flush; checkout keeps serving the rest.
+    pub fn flush_one_dirty(&self) -> bool {
+        let Some(mut handle) = self.lock().dirty.pop() else {
+            return false;
+        };
+        // Flush outside the lock: scans and batch finalization can be the
+        // most expensive operation the pool ever performs.
+        handle.flush();
+        let mut state = self.lock();
+        state.parked.push(handle);
+        self.notify_next(&state);
+        true
+    }
+
+    /// Flushes every currently dirty handle (see
+    /// [`HandlePool::flush_one_dirty`]); returns how many were flushed.
+    /// Used by shutdown paths that must not leave deferred batches behind.
+    pub fn flush_dirty(&self) -> usize {
+        let mut flushed = 0;
+        while self.flush_one_dirty() {
+            flushed += 1;
+        }
+        flushed
     }
 }
 
@@ -186,7 +320,110 @@ impl<T: Send + 'static, S: Smr<T>> std::fmt::Debug for HandlePool<'_, T, S> {
             .field("capacity", &self.capacity)
             .field("issued", &state.issued)
             .field("parked", &state.parked.len())
+            .field("dirty", &state.dirty.len())
+            .field("waiters", &state.waiters.len())
             .finish()
+    }
+}
+
+/// The future returned by [`HandlePool::check_out`].
+///
+/// Registers itself in the pool's FIFO waiter queue on first poll when no
+/// handle is available; resolves to a [`PooledHandle`] once it reaches the
+/// front of the queue and a handle (or capacity slot) frees up. Dropping
+/// the future deregisters it and forwards any pending wake to the next
+/// waiter, so cancelled tasks never strand the queue.
+pub struct CheckOut<'p, 'd, T: Send + 'static, S: Smr<T>> {
+    pool: &'p HandlePool<'d, T, S>,
+    ticket: Option<u64>,
+}
+
+impl<T: Send + 'static, S: Smr<T>> std::fmt::Debug for CheckOut<'_, '_, T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckOut")
+            .field("scheme", &S::name())
+            .field("queued", &self.ticket.is_some())
+            .finish()
+    }
+}
+
+impl<'p, 'd, T: Send + 'static, S: Smr<T>> CheckOut<'p, 'd, T, S> {
+    /// Removes this future's waiter entry (no-op if never registered).
+    fn deregister(&mut self, state: &mut PoolState<S::Handle<'d>>) {
+        if let Some(ticket) = self.ticket.take() {
+            if let Some(pos) = state.waiters.iter().position(|w| w.ticket == ticket) {
+                state.waiters.remove(pos);
+            }
+        }
+    }
+}
+
+impl<'p, 'd, T: Send + 'static, S: Smr<T>> Future for CheckOut<'p, 'd, T, S> {
+    type Output = PooledHandle<'p, 'd, T, S>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // No self-references: the future is plain data, hence Unpin.
+        let this = self.get_mut();
+        let mut state = this.pool.lock();
+        // FIFO fairness: only the front of the queue (or a fresh future
+        // arriving at an empty queue) may take a handle.
+        let at_front = match this.ticket {
+            None => state.waiters.is_empty(),
+            Some(ticket) => state.waiters.front().is_some_and(|w| w.ticket == ticket),
+        };
+        if at_front {
+            if let Some(handle) = state.take_parked() {
+                this.deregister(&mut state);
+                // Hand any *remaining* availability to the next waiter.
+                this.pool.notify_next(&state);
+                drop(state);
+                return Poll::Ready(this.pool.guard(handle));
+            }
+            if state.issued < this.pool.capacity {
+                state.issued += 1;
+                this.deregister(&mut state);
+                this.pool.notify_next(&state);
+                drop(state);
+                // If `create` panics its Rollback guard releases the slot
+                // and re-notifies, same as the blocking path.
+                return Poll::Ready(this.pool.guard(this.pool.create()));
+            }
+        }
+        // Not servable now: (re)register with the current waker. All waker
+        // registration happens under the pool lock — the same lock every
+        // check-in takes before waking — so a wake cannot slip between the
+        // availability check above and the registration below.
+        match this.ticket {
+            None => {
+                let ticket = state.next_ticket;
+                state.next_ticket += 1;
+                state.waiters.push_back(PoolWaiter {
+                    ticket,
+                    waker: cx.waker().clone(),
+                });
+                this.ticket = Some(ticket);
+            }
+            Some(ticket) => {
+                if let Some(w) = state.waiters.iter_mut().find(|w| w.ticket == ticket) {
+                    w.waker.clone_from(cx.waker());
+                }
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl<T: Send + 'static, S: Smr<T>> Drop for CheckOut<'_, '_, T, S> {
+    fn drop(&mut self) {
+        if self.ticket.is_none() {
+            return;
+        }
+        let mut state = self.pool.lock();
+        self.deregister(&mut state);
+        // A check-in may have woken this future right before it was
+        // cancelled; that signal would otherwise be lost with the handle
+        // sitting parked, so pass it on.
+        self.pool.notify_next(&state);
     }
 }
 
@@ -195,6 +432,24 @@ impl<T: Send + 'static, S: Smr<T>> std::fmt::Debug for HandlePool<'_, T, S> {
 pub struct PooledHandle<'p, 'd, T: Send + 'static, S: Smr<T>> {
     pool: &'p HandlePool<'d, T, S>,
     handle: Option<S::Handle<'d>>,
+}
+
+impl<T: Send + 'static, S: Smr<T>> PooledHandle<'_, '_, T, S> {
+    /// Returns the handle to the pool *without* flushing it.
+    ///
+    /// The deferred-flush half of the reclaimer protocol: the task-side
+    /// check-in becomes a queue push, and a background reclaimer performs
+    /// the flush later via [`HandlePool::flush_one_dirty`]. The caller (or
+    /// its reclaimer) is responsible for ensuring dirty handles are
+    /// eventually flushed — on an orderly shutdown, drain with
+    /// [`HandlePool::flush_dirty`]. As with a plain drop, the handle must
+    /// be outside an operation (after `leave`).
+    pub fn check_in_dirty(mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.pool.park_dirty(handle);
+        }
+        // Drop is now a no-op: the handle is already parked.
+    }
 }
 
 impl<T: Send + 'static, S: Smr<T>> std::fmt::Debug for PooledHandle<'_, '_, T, S> {
@@ -231,13 +486,16 @@ impl<T: Send + 'static, S: Smr<T>> Drop for PooledHandle<'_, '_, T, S> {
 mod tests {
     use super::*;
     use crate::{Atomic, Shared, SmrConfig, SmrStats};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::task::Wake;
 
     /// Registry-like toy scheme: counts live handles and panics past the
     /// configured cap, mirroring `SlotRegistry::claim`.
     struct CappedDomain {
         live: AtomicUsize,
         cap: usize,
+        flushes: AtomicUsize,
         stats: SmrStats,
     }
 
@@ -248,6 +506,7 @@ mod tests {
             Self {
                 live: AtomicUsize::new(0),
                 cap: config.max_threads,
+                flushes: AtomicUsize::new(0),
                 stats: SmrStats::new(),
             }
         }
@@ -293,6 +552,8 @@ mod tests {
             Shared::from_node(crate::SmrNode::alloc(value))
         }
 
+        // SAFETY: callers uphold the trait contract (ptr came from `alloc`
+        // and is not reachable); the toy domain frees it immediately.
         unsafe fn dealloc(&mut self, ptr: Shared<u64>) {
             self.domain.stats.add_deallocated(1);
             crate::SmrNode::dealloc(ptr.as_node_ptr(), true);
@@ -302,6 +563,8 @@ mod tests {
             src.load(Ordering::Acquire)
         }
 
+        // SAFETY: these tests never share nodes across handles, so a
+        // retired node has no readers and can be freed on the spot.
         unsafe fn retire(&mut self, ptr: Shared<u64>) {
             // Toy: retire frees immediately (no readers in these tests).
             self.domain.stats.add_retired(1);
@@ -309,7 +572,9 @@ mod tests {
             crate::SmrNode::dealloc(ptr.as_node_ptr(), true);
         }
 
-        fn flush(&mut self) {}
+        fn flush(&mut self) {
+            self.domain.flushes.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     fn domain(cap: usize) -> CappedDomain {
@@ -317,6 +582,36 @@ mod tests {
             max_threads: cap,
             ..SmrConfig::default()
         })
+    }
+
+    /// A waker that records having been woken.
+    struct Flag(AtomicBool);
+
+    impl Flag {
+        fn pair() -> (Arc<Flag>, Waker) {
+            let flag = Arc::new(Flag(AtomicBool::new(false)));
+            let waker = Waker::from(Arc::clone(&flag));
+            (flag, waker)
+        }
+
+        fn woken(&self) -> bool {
+            self.0.swap(false, Ordering::SeqCst)
+        }
+    }
+
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn poll_once<F: Future + Unpin>(fut: &mut F, waker: &Waker) -> Poll<F::Output> {
+        let mut cx = Context::from_waker(waker);
+        Pin::new(fut).poll(&mut cx)
     }
 
     #[test]
@@ -327,23 +622,27 @@ mod tests {
             let mut h = pool.checkout();
             h.enter();
             let node = h.alloc(i);
-            unsafe { h.retire(node) };
+            unsafe { h.retire(node) }; // SAFETY: node is unshared, no readers.
             h.leave();
         }
         assert_eq!(pool.issued(), 1, "ten sequential tasks shared one handle");
         assert_eq!(pool.parked(), 1);
+        assert_eq!(pool.checked_out(), 0);
         assert_eq!(d.stats.allocated(), 10);
     }
 
     #[test]
-    fn try_checkout_reports_exhaustion() {
+    fn try_check_out_reports_exhaustion() {
         let d = domain(2);
         let pool = HandlePool::new(&d, 2);
-        let a = pool.try_checkout().expect("first");
-        let b = pool.try_checkout().expect("second");
-        assert!(pool.try_checkout().is_none(), "pool must be exhausted");
+        let a = pool.try_check_out().expect("first");
+        let b = pool.try_check_out().expect("second");
+        assert!(pool.try_check_out().is_none(), "pool must be exhausted");
+        assert_eq!(pool.checked_out(), 2);
+        assert_eq!(pool.capacity(), 2);
         drop(a);
-        assert!(pool.try_checkout().is_some(), "returned handle reusable");
+        assert_eq!(pool.checked_out(), 1);
+        assert!(pool.try_check_out().is_some(), "returned handle reusable");
         drop(b);
     }
 
@@ -358,7 +657,7 @@ mod tests {
                     let mut h = pool.checkout();
                     h.enter();
                     let node = h.alloc(t);
-                    unsafe { h.retire(node) };
+                    unsafe { h.retire(node) }; // SAFETY: node is unshared, no readers.
                     h.leave();
                     completed.fetch_add(1, Ordering::SeqCst);
                 });
@@ -410,6 +709,197 @@ mod tests {
         assert!(result.is_err());
         // The guard's Drop ran during unwind: the handle is parked again.
         assert_eq!(pool.parked(), 1);
-        let _h = pool.try_checkout().expect("handle survives a panic");
+        let _h = pool.try_check_out().expect("handle survives a panic");
+    }
+
+    #[test]
+    fn async_check_out_resolves_immediately_when_available() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        let (_flag, waker) = Flag::pair();
+        let mut fut = pool.check_out();
+        let Poll::Ready(h) = poll_once(&mut fut, &waker) else {
+            panic!("empty pool under cap must resolve on first poll");
+        };
+        assert_eq!(pool.checked_out(), 1);
+        drop(h);
+        assert_eq!(pool.parked(), 1);
+    }
+
+    #[test]
+    fn async_check_out_is_fifo_fair() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        let held = pool.checkout();
+
+        let (flag_a, waker_a) = Flag::pair();
+        let (flag_b, waker_b) = Flag::pair();
+        let mut a = pool.check_out();
+        let mut b = pool.check_out();
+        assert!(poll_once(&mut a, &waker_a).is_pending());
+        assert!(poll_once(&mut b, &waker_b).is_pending());
+
+        drop(held); // check-in wakes the front waiter (a)
+        assert!(flag_a.woken(), "front waiter must be woken by check-in");
+
+        // b polls first (executor scheduling artifact) — but a is the front
+        // of the queue, so b must stay pending.
+        assert!(poll_once(&mut b, &waker_b).is_pending());
+        let Poll::Ready(handle_a) = poll_once(&mut a, &waker_a) else {
+            panic!("front waiter must resolve");
+        };
+
+        drop(handle_a); // wakes b, now the front
+        assert!(flag_b.woken());
+        let Poll::Ready(_handle_b) = poll_once(&mut b, &waker_b) else {
+            panic!("second waiter must resolve after the first returns");
+        };
+        assert_eq!(pool.issued(), 1, "everything shared the single handle");
+    }
+
+    #[test]
+    fn cancelled_check_out_releases_its_waker_slot() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        let held = pool.checkout();
+
+        let (_flag, waker) = Flag::pair();
+        let mut fut = pool.check_out();
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        drop(fut); // cancelled mid-await
+
+        drop(held);
+        // No leaked queue entry, no leaked capacity: immediate reuse works.
+        assert_eq!(pool.checked_out(), 0);
+        let _h = pool.try_check_out().expect("pool fully available again");
+        assert_eq!(pool.issued(), 1);
+    }
+
+    #[test]
+    fn cancelling_a_woken_waiter_passes_the_signal_on() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        let held = pool.checkout();
+
+        let (flag_a, waker_a) = Flag::pair();
+        let (flag_b, waker_b) = Flag::pair();
+        let mut a = pool.check_out();
+        let mut b = pool.check_out();
+        assert!(poll_once(&mut a, &waker_a).is_pending());
+        assert!(poll_once(&mut b, &waker_b).is_pending());
+
+        drop(held);
+        assert!(flag_a.woken(), "a absorbed the availability signal");
+        assert!(!flag_b.woken());
+
+        // a is cancelled after being woken but before re-polling: its drop
+        // must forward the signal, or b waits forever on a parked handle.
+        drop(a);
+        assert!(flag_b.woken(), "cancelled waiter must pass the baton");
+        let Poll::Ready(_h) = poll_once(&mut b, &waker_b) else {
+            panic!("b must resolve after the baton pass");
+        };
+    }
+
+    #[test]
+    fn check_in_dirty_defers_the_flush_to_the_pool() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        pool.checkout().check_in_dirty();
+        assert_eq!(pool.dirty(), 1);
+        assert_eq!(
+            d.flushes.load(Ordering::SeqCst),
+            0,
+            "dirty check-in must not flush on the task's path"
+        );
+        assert!(pool.flush_one_dirty(), "one dirty handle to flush");
+        assert!(!pool.flush_one_dirty(), "queue drained");
+        assert_eq!(pool.dirty(), 0);
+        assert_eq!(pool.parked(), 1);
+        assert_eq!(d.flushes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn checkout_serves_dirty_handles() {
+        // A dirty handle is still a perfectly good handle: re-issuing it is
+        // the same as one task having kept it across two operations.
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        pool.checkout().check_in_dirty();
+        assert_eq!(pool.dirty(), 1);
+        let h = pool.try_check_out().expect("dirty handle is available");
+        assert_eq!(pool.dirty(), 0);
+        drop(h);
+        // Plain drop flushed it: nothing dirty remains.
+        assert_eq!(pool.dirty(), 0);
+        assert_eq!(pool.flush_dirty(), 0);
+    }
+
+    #[test]
+    fn flush_dirty_drains_everything_for_shutdown() {
+        let d = domain(3);
+        let pool = HandlePool::new(&d, 3);
+        let (a, b, c) = (pool.checkout(), pool.checkout(), pool.checkout());
+        a.check_in_dirty();
+        b.check_in_dirty();
+        c.check_in_dirty();
+        assert_eq!(pool.dirty(), 3);
+        assert_eq!(pool.flush_dirty(), 3);
+        assert_eq!(pool.dirty(), 0);
+        assert_eq!(pool.parked(), 3);
+        assert_eq!(d.flushes.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn async_check_out_waits_for_dirty_handles_too() {
+        let d = domain(1);
+        let pool = HandlePool::new(&d, 1);
+        let held = pool.checkout();
+        let (flag, waker) = Flag::pair();
+        let mut fut = pool.check_out();
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        held.check_in_dirty(); // dirty check-in must also wake waiters
+        assert!(flag.woken());
+        let Poll::Ready(_h) = poll_once(&mut fut, &waker) else {
+            panic!("dirty handle must satisfy an async waiter");
+        };
+    }
+
+    #[test]
+    fn async_oversubscription_on_threads_completes() {
+        // 16 blocking threads each driving an async checkout via manual
+        // polling (park/unpark) against a 2-handle pool: the waker queue
+        // and the condvar path coexist without lost wakeups.
+        let d = domain(2);
+        let pool = &HandlePool::new(&d, 2);
+        let completed = &AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..16u64 {
+                scope.spawn(move || {
+                    // Busy-poll with a flag waker: a minimal single-future
+                    // executor (yields via thread::yield_now, not sleep).
+                    let (flag, waker) = Flag::pair();
+                    let mut fut = pool.check_out();
+                    let mut h = loop {
+                        match poll_once(&mut fut, &waker) {
+                            Poll::Ready(h) => break h,
+                            Poll::Pending => {
+                                while !flag.woken() {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    };
+                    h.enter();
+                    let node = h.alloc(t);
+                    unsafe { h.retire(node) }; // SAFETY: node is unshared, no readers.
+                    h.leave();
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(completed.load(Ordering::SeqCst), 16);
+        assert!(pool.issued() <= 2);
+        assert_eq!(d.stats.allocated(), 16);
     }
 }

@@ -17,12 +17,17 @@
 //!   read used unsynchronized" — the REF/ADJ handoff bugs of PAPER.md §4
 //!   start exactly there.
 //! * **forbidden** — `static mut` (anywhere), `std::thread::sleep` outside
-//!   bench crates and test code, and `mem::forget` applied to a
-//!   handle/guard expression (leaking a handle silently pins reclamation).
+//!   bench crates and test code, `mem::forget` applied to a handle/guard
+//!   expression (leaking a handle silently pins reclamation), and any
+//!   `thread::sleep`/`thread::park` inside `crates/smr-async/src` (the
+//!   async service layer's worker threads are shared by every task, so
+//!   blocking one stalls the fleet — reclaimers must yield, not block).
 //!
 //! Test code is *not* exempt from the safety rule — a wrong justification
 //! in a test is still a wrong justification — but `thread::sleep` is
-//! permitted inside `#[cfg(test)]` modules and `bench*` crates.
+//! permitted inside `#[cfg(test)]` modules and `bench*` crates. The
+//! `smr-async` blocking ban has no such carve-out: a test that parks a
+//! shared worker deadlocks the executor exactly like production code.
 
 use crate::lexer::{lex, Lexed};
 
@@ -412,6 +417,12 @@ fn check_forbidden(
         .nth(1)
         .is_some_and(|crate_dir| crate_dir.starts_with("bench"));
     let in_tests_dir = rel_path.split('/').any(|seg| seg == "tests");
+    // The async service layer's workers are shared by every task: one
+    // blocked worker stalls the whole fleet, so time-based or parking
+    // blocking is forbidden there with NO test/bench exemption — a test
+    // that parks a worker deadlocks the executor just as surely as
+    // production code would. Reclaimers and guards must yield instead.
+    let async_crate = rel_path.starts_with("crates/smr-async/src");
     for line in 1..=lexed.line_count() {
         let code = lexed.code_line(line);
         let flat = nospace(code);
@@ -425,7 +436,15 @@ fn check_forbidden(
         }
         if flat.contains("thread::sleep(") {
             let in_test_region = test_region_start.is_some_and(|start| line >= start);
-            if !(bench_crate || in_tests_dir || in_test_region) {
+            if async_crate {
+                out.violations.push(Violation {
+                    rule: Rule::Forbidden,
+                    line,
+                    message: "`thread::sleep` inside crates/smr-async (workers are shared \
+                              by all tasks; yield with `yield_now().await` instead)"
+                        .into(),
+                });
+            } else if !(bench_crate || in_tests_dir || in_test_region) {
                 out.violations.push(Violation {
                     rule: Rule::Forbidden,
                     line,
@@ -434,6 +453,15 @@ fn check_forbidden(
                         .into(),
                 });
             }
+        }
+        if async_crate && flat.contains("thread::park") {
+            out.violations.push(Violation {
+                rule: Rule::Forbidden,
+                line,
+                message: "`thread::park` inside crates/smr-async (park a future on a waker, \
+                          never the worker thread)"
+                    .into(),
+            });
         }
         if let Some(pos) = flat.find("mem::forget(") {
             let arg = &flat[pos + "mem::forget(".len()..];
@@ -635,6 +663,35 @@ mod tests {
             analyze("crates/smr-core/src/x.rs", before).count(Rule::Forbidden),
             1,
             "sleep before the test module is still production code"
+        );
+    }
+
+    #[test]
+    fn async_crate_bans_sleep_and_park_even_in_tests() {
+        let sleep = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(d); }\n}\n";
+        assert_eq!(
+            analyze("crates/smr-async/src/executor.rs", sleep).count(Rule::Forbidden),
+            1,
+            "the test-module exemption must not apply inside smr-async"
+        );
+        let park = "fn wait() { std::thread::park(); }\n";
+        assert_eq!(
+            analyze("crates/smr-async/src/queue.rs", park).count(Rule::Forbidden),
+            1
+        );
+        let park_timeout = "fn wait() { std::thread::park_timeout(d); }\n";
+        assert_eq!(
+            analyze("crates/smr-async/src/reclaimer.rs", park_timeout).count(Rule::Forbidden),
+            1
+        );
+        // Elsewhere `thread::park` stays legal (the blocking pool uses a
+        // condvar, but parking a dedicated OS thread is not a lint matter).
+        assert_eq!(analyze("crates/smr-core/src/pool.rs", park).count(Rule::Forbidden), 0);
+        // Comments and docs never trip the rule.
+        let comment = "// never call thread::sleep or thread::park here\nfn f() {}\n";
+        assert_eq!(
+            analyze("crates/smr-async/src/lib.rs", comment).count(Rule::Forbidden),
+            0
         );
     }
 

@@ -15,10 +15,14 @@
 //! * [`bench_harness`] — workload generation and the figure/table drivers.
 //! * [`interleave`] — deterministic interleaving exploration (model checking)
 //!   of the core algorithms.
+//! * [`smr_async`] — the async-native service layer: a dependency-free
+//!   executor, task-scoped guards over `HandlePool`, background reclaimer
+//!   tasks, and the connection-scale KV demo service.
 
 pub use bench_harness;
 pub use hyaline;
 pub use interleave;
 pub use lockfree_ds;
+pub use smr_async;
 pub use smr_baselines;
 pub use smr_core;

@@ -118,11 +118,12 @@ fn pooled_handles_migrate_between_threads() {
 }
 
 #[test]
-fn try_checkout_drains_and_refills() {
+fn try_check_out_drains_and_refills() {
     let domain: Ebr<u64> = Ebr::with_config(cfg(2));
     let pool = HandlePool::new(&domain, 1);
-    let held = pool.try_checkout().expect("first checkout");
-    assert!(pool.try_checkout().is_none(), "capacity 1 is exhausted");
+    let held = pool.try_check_out().expect("first checkout");
+    assert!(pool.try_check_out().is_none(), "capacity 1 is exhausted");
+    assert_eq!(pool.checked_out(), 1);
     drop(held);
-    assert!(pool.try_checkout().is_some(), "parked handle is reissued");
+    assert!(pool.try_check_out().is_some(), "parked handle is reissued");
 }
