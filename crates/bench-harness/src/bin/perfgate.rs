@@ -123,18 +123,11 @@ fn main() {
     // A blocking gate must compare every baseline combo: empty files,
     // disjoint keys, or a partially vanished overlap (one key parameter
     // drifting for a subset of runs) all mean the combos that could have
-    // regressed were silently skipped.
+    // regressed were silently skipped. The verdict names each missing
+    // combo so the drifted key is visible in the CI log.
     if require_overlap && !warn_only {
-        if report.comparisons.is_empty() {
-            eprintln!("perfgate: FAIL — --require-overlap set and nothing was compared");
-            std::process::exit(1);
-        }
-        if !report.only_in_baseline.is_empty() {
-            eprintln!(
-                "perfgate: FAIL — --require-overlap set and {} baseline \
-                 configuration(s) have no candidate counterpart",
-                report.only_in_baseline.len()
-            );
+        if let Some(msg) = report.overlap_failure() {
+            eprintln!("perfgate: FAIL — --require-overlap set and {msg}");
             std::process::exit(1);
         }
     }

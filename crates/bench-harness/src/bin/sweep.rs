@@ -19,7 +19,7 @@
 use bench_harness::cli::{cli_args, BenchScale};
 use bench_harness::driver::{BenchParams, RunResult};
 use bench_harness::figures::{robustness_figure_recorded, throughput_figures_recorded};
-use bench_harness::registry::{ALL_SCHEMES, FIGURE_SCHEMES, STRUCTURES};
+use bench_harness::registry::{run_combo, ALL_SCHEMES, FIGURE_SCHEMES, STRUCTURES};
 use bench_harness::results::{wall_clock_timestamp, Provenance, ResultSink};
 use bench_harness::workload::OpMix;
 use hyaline::Hyaline;
@@ -41,6 +41,12 @@ enum Sweep {
     /// registry capped near the hardware thread count, with deferred
     /// check-ins drained by background reclaimer tasks.
     KvService,
+    /// Memory-bound comparison under reader stalls: Hyaline vs the
+    /// Crystalline variants vs Epoch with one or two readers parked inside
+    /// an operation, recording the *peak* unreclaimed estimate. Robust
+    /// schemes hold the high-water mark flat; the others grow it for the
+    /// whole run.
+    StalledReader,
 }
 
 impl Sweep {
@@ -51,6 +57,7 @@ impl Sweep {
             "robustness" => Some(Self::Robustness),
             "handle-churn" => Some(Self::HandleChurn),
             "kv-service" => Some(Self::KvService),
+            "stalled-reader" => Some(Self::StalledReader),
             _ => None,
         }
     }
@@ -60,7 +67,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("sweep: error: {msg}");
     eprintln!(
         "usage: sweep [--out FILE] \
-         [--sweeps thread-scaling,oversubscription,robustness,handle-churn,kv-service] \
+         [--sweeps thread-scaling,oversubscription,robustness,handle-churn,kv-service,stalled-reader] \
          [--structures hashmap,... | all] [--schemes Hyaline,Sharded-Hyaline,...] \
          [--mix write-intensive|read-mostly] \
          [bench scale flags: --secs --trials --threads --slots --shards \
@@ -222,6 +229,9 @@ fn main() {
                 };
                 run_kv_sweep(&scale.base, &axis, mix, cores, &mut sink);
             }
+            Sweep::StalledReader => {
+                run_stalled_reader_sweep(&scale.base, &mut sink);
+            }
             Sweep::Robustness => {
                 let active = cores.max(2);
                 let max_stalled = scale.stalled.iter().copied().max().unwrap_or(8);
@@ -259,6 +269,52 @@ fn main() {
 /// so tens of thousands of connections multiplex a pool of at most a few
 /// handles; executor workers come from `--threads` so the perf-gate key
 /// stays host-independent when both flags are pinned.
+/// The memory-bound headline comparison: Hyaline, both Crystalline
+/// variants, and Epoch on the Michael hash map with 1 and then 2 readers
+/// parked inside an operation, write-intensive so the workers keep
+/// producing garbage the stall could pin. Each point records the *peak*
+/// unreclaimed estimate (`avg_unreclaimed` carries the peak in this
+/// figure, as in `kv-service`): era filtering lets the Crystalline
+/// variants skip the stalled reservation entirely, so their high-water
+/// mark stays near the batch backlog, while Hyaline and Epoch pin
+/// everything retired after the stall began.
+///
+/// The stalled axis is fixed at `[1, 2]` — not taken from `--stalled` —
+/// so committed baselines keep host-independent perf-gate keys.
+fn run_stalled_reader_sweep(base: &BenchParams, sink: &mut ResultSink) {
+    const SCHEMES: &[&str] = &["Hyaline", "Epoch", "Crystalline-L", "Crystalline-W"];
+    const STALLED: &[usize] = &[1, 2];
+    println!(
+        "== stalled-reader: peak unreclaimed, Michael hash map, \
+         {} active thread(s), write-intensive ==\n",
+        base.threads
+    );
+    println!(
+        "{:>14} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "stalled", "Mops/s", "peak-unrecl", "retired", "freed"
+    );
+    for &scheme in SCHEMES {
+        for &stalled in STALLED {
+            let mut params = base.clone();
+            params.stalled = stalled;
+            params.mix = OpMix::WriteIntensive;
+            let Some(result) = run_combo(scheme, "hashmap", &params) else {
+                continue;
+            };
+            let recorded = RunResult {
+                avg_unreclaimed: result.peak_unreclaimed as f64,
+                ..result
+            };
+            sink.record("stalled-reader", scheme, "hashmap", &params, &recorded);
+            println!(
+                "{:>14} {:>8} {:>10.3} {:>12} {:>12} {:>12}",
+                scheme, stalled, result.mops, result.peak_unreclaimed, result.retired, result.freed
+            );
+        }
+    }
+    println!();
+}
+
 fn run_kv_sweep(base: &BenchParams, axis: &[u64], mix: OpMix, cores: usize, sink: &mut ResultSink) {
     let (get_pct, put_pct) = match mix {
         // The thread-driven sweeps' mixes, translated to get/put/delete:
@@ -306,9 +362,9 @@ fn run_kv_sweep(base: &BenchParams, axis: &[u64], mix: OpMix, cores: usize, sink
         let result = RunResult {
             mops: report.mops(),
             avg_unreclaimed: report.peak_unreclaimed as f64,
+            peak_unreclaimed: report.peak_unreclaimed,
             ops: report.ops,
-            retired: 0,
-            freed: 0,
+            ..RunResult::default()
         };
         let mut params = base.clone();
         params.mix = mix;

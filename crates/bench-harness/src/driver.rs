@@ -88,6 +88,12 @@ pub struct RunResult {
     pub mops: f64,
     /// Average retired-but-unreclaimed objects (per sample point).
     pub avg_unreclaimed: f64,
+    /// Highest retired-but-unreclaimed estimate seen at any sample point
+    /// (maximum across trials). The stalled-reader sweep keys on this
+    /// rather than the average: a robust scheme bounds the high-water
+    /// mark even while a reader stalls inside an operation, a non-robust
+    /// one grows it for as long as the run lasts.
+    pub peak_unreclaimed: u64,
     /// Total operations executed.
     pub ops: u64,
     /// Nodes retired during the measured phase.
@@ -107,6 +113,7 @@ where
         let r = run_trial::<S, M>(params, trial as u64);
         acc.mops += r.mops;
         acc.avg_unreclaimed += r.avg_unreclaimed;
+        acc.peak_unreclaimed = acc.peak_unreclaimed.max(r.peak_unreclaimed);
         acc.ops += r.ops;
         acc.retired += r.retired;
         acc.freed += r.freed;
@@ -163,6 +170,7 @@ where
         ops: u64,
         sample_sum: u64,
         samples: u64,
+        peak: u64,
     }
 
     // Create every direct handle up front, before any thread exists
@@ -178,7 +186,7 @@ where
         .collect::<Vec<_>>()
         .into_iter();
 
-    let (total_ops, sample_sum, samples) = std::thread::scope(|scope| {
+    let (total_ops, sample_sum, samples, peak) = std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(params.threads);
         for t in 0..params.threads {
             let params = params.clone();
@@ -194,6 +202,7 @@ where
                     ops: 0,
                     sample_sum: 0,
                     samples: 0,
+                    peak: 0,
                 };
                 let mut one_op = |h: &mut _, out: &mut ThreadOut| {
                     let (op, key) = stream.next_op();
@@ -212,8 +221,10 @@ where
                     if out.ops.is_multiple_of(params.sample_every) {
                         // Load-only estimate: sampling must not introduce
                         // shared-cache-line writes into the measured run.
-                        out.sample_sum += map_ref.domain().unreclaimed_estimate();
+                        let est = map_ref.domain().unreclaimed_estimate();
+                        out.sample_sum += est;
                         out.samples += 1;
+                        out.peak = out.peak.max(est);
                     }
                 };
                 if let Some(pool) = pool_ref {
@@ -320,17 +331,19 @@ where
         let mut total_ops = 0u64;
         let mut sample_sum = 0u64;
         let mut samples = 0u64;
+        let mut peak = 0u64;
         for w in workers {
             let out = w.join().expect("worker panicked");
             total_ops += out.ops;
             sample_sum += out.sample_sum;
             samples += out.samples;
+            peak = peak.max(out.peak);
         }
         for s in stalled {
             s.join().expect("stalled thread panicked");
         }
         let _ = elapsed;
-        (total_ops, sample_sum, samples)
+        (total_ops, sample_sum, samples, peak)
     });
 
     let stats = map.stats();
@@ -341,6 +354,7 @@ where
         } else {
             sample_sum as f64 / samples as f64
         },
+        peak_unreclaimed: peak,
         ops: total_ops,
         retired: stats.retired(),
         freed: stats.freed(),
@@ -374,6 +388,8 @@ mod tests {
         let r = run_bench::<Hyaline<_>, MichaelHashMap<u64, u64, _>>(&quick_params());
         assert!(r.ops > 0, "no operations executed");
         assert!(r.mops > 0.0);
+        // The high-water mark dominates the mean by construction.
+        assert!(r.peak_unreclaimed as f64 >= r.avg_unreclaimed);
     }
 
     #[test]

@@ -97,6 +97,8 @@ pub struct ComboKey {
     pub handle_churn: u64,
     /// Shard routing mode label ("by-key" / "by-pointer").
     pub routing: String,
+    /// Crystalline handoff threshold (pre-schema-4 lines decode as 8).
+    pub handoff_attempts: u64,
     /// Simulated connections (0 = thread-driven run).
     pub connections: u64,
 }
@@ -127,6 +129,7 @@ impl ComboKey {
             shards: r.shards,
             handle_churn: r.handle_churn,
             routing: r.routing.clone(),
+            handoff_attempts: r.handoff_attempts,
             connections: r.connections,
         }
     }
@@ -155,6 +158,9 @@ impl fmt::Display for ComboKey {
         }
         if self.connections > 0 {
             write!(f, " conns={}", self.connections)?;
+        }
+        if self.handoff_attempts != 8 {
+            write!(f, " handoff={}", self.handoff_attempts)?;
         }
         write!(
             f,
@@ -235,6 +241,32 @@ impl GateReport {
         self.comparisons.iter().any(|c| {
             c.mops_verdict == Verdict::Regressed || c.unreclaimed_verdict == Verdict::Regressed
         })
+    }
+
+    /// The `--require-overlap` verdict: `None` when at least one comparison
+    /// happened and every baseline configuration found its candidate
+    /// counterpart; otherwise the failure text naming *each* baseline combo
+    /// that was never compared, so the log shows which key drifted (scheme
+    /// renamed, a config flag or host default changed) instead of only how
+    /// many.
+    pub fn overlap_failure(&self) -> Option<String> {
+        if !self.comparisons.is_empty() && self.only_in_baseline.is_empty() {
+            return None;
+        }
+        let mut msg = if self.comparisons.is_empty() {
+            "nothing was compared".to_string()
+        } else {
+            format!(
+                "{} of {} baseline configuration(s) have no candidate counterpart",
+                self.only_in_baseline.len(),
+                self.comparisons.len() + self.only_in_baseline.len()
+            )
+        };
+        for k in &self.only_in_baseline {
+            msg.push_str("\n  not compared: ");
+            msg.push_str(&k.to_string());
+        }
+        Some(msg)
     }
 
     /// Counts of (regressed, improved, within-noise) across both metrics.
@@ -378,8 +410,7 @@ mod tests {
             mops,
             avg_unreclaimed: unreclaimed,
             ops: (mops * 1e6) as u64,
-            retired: 0,
-            freed: 0,
+            ..RunResult::default()
         };
         let prov = Provenance {
             git_sha: None,
@@ -514,6 +545,56 @@ mod tests {
         assert!(!report.has_regression());
         let line = ComboKey::of(&sharded).to_string();
         assert!(line.contains("shards=4"), "{line}");
+    }
+
+    #[test]
+    fn overlap_failure_names_each_missing_combo() {
+        let shared = record("Hyaline", 4, 10.0, 0.0);
+        let gone = record("Epoch", 8, 8.0, 0.0);
+        // Full overlap: no failure.
+        let ok = compare(
+            std::slice::from_ref(&shared),
+            std::slice::from_ref(&shared),
+            Tolerance::default(),
+        );
+        assert_eq!(ok.overlap_failure(), None);
+        // Partial overlap: the verdict names exactly the vanished combo.
+        let partial = compare(
+            &[shared.clone(), gone.clone()],
+            std::slice::from_ref(&shared),
+            Tolerance::default(),
+        );
+        let msg = partial.overlap_failure().expect("partial overlap must fail");
+        assert_eq!(
+            msg,
+            format!(
+                "1 of 2 baseline configuration(s) have no candidate counterpart\
+                 \n  not compared: {}",
+                ComboKey::of(&gone)
+            )
+        );
+        // Disjoint files: "nothing was compared", listing every baseline combo.
+        let disjoint = compare(
+            &[shared.clone(), gone.clone()],
+            &[record("HP", 2, 1.0, 0.0)],
+            Tolerance::default(),
+        );
+        let msg = disjoint.overlap_failure().expect("disjoint files must fail");
+        assert_eq!(
+            msg,
+            format!(
+                "nothing was compared\n  not compared: {}\n  not compared: {}",
+                ComboKey::of(&gone),
+                ComboKey::of(&shared)
+            )
+        );
+        // Candidate-only combos never trip the overlap check.
+        let grown = compare(
+            std::slice::from_ref(&shared),
+            &[shared.clone(), gone],
+            Tolerance::default(),
+        );
+        assert_eq!(grown.overlap_failure(), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Runtime dispatch from `(scheme name, structure name)` strings to the
 //! monomorphized benchmark entry points.
 
+use crystalline::{CrystallineL, CrystallineW};
 use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
 use lockfree_ds::{BonsaiTree, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree};
 use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
@@ -23,9 +24,10 @@ pub const FIGURE_SCHEMES: &[&str] = &[
 ];
 
 /// All schemes available in the registry: the figure set, the LFRC
-/// ablation, and the sharded-domain variants (`SmrConfig::shards` selects
+/// ablation, the sharded-domain variants (`SmrConfig::shards` selects
 /// the shard count; `1` makes them behave like the plain scheme behind the
-/// adapter).
+/// adapter), and the wait-free Crystalline variants
+/// (`SmrConfig::handoff_attempts` bounds the retire CAS attempts).
 pub const ALL_SCHEMES: &[&str] = &[
     "Leaky",
     "Epoch",
@@ -40,6 +42,8 @@ pub const ALL_SCHEMES: &[&str] = &[
     "Sharded-Hyaline",
     "Sharded-Hyaline-S",
     "Sharded-Epoch",
+    "Crystalline-L",
+    "Crystalline-W",
 ];
 
 /// The benchmark structures, matching the paper's four sub-figures.
@@ -99,6 +103,10 @@ pub fn run_combo(scheme: &str, structure: &str, params: &BenchParams) -> Option<
         "Sharded-Hyaline" => on_structures!(Sharded<Hyaline<_>>),
         "Sharded-Hyaline-S" => on_structures!(Sharded<HyalineS<_>>),
         "Sharded-Epoch" => on_structures!(Sharded<Ebr<_>>),
+        // Wait-free Crystalline variants: era-based like Hyaline-1S, so
+        // bonsai's snapshot traversals are supported.
+        "Crystalline-L" => on_structures!(CrystallineL<_>),
+        "Crystalline-W" => on_structures!(CrystallineW<_>),
         _ => None,
     }
 }

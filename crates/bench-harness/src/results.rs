@@ -27,8 +27,11 @@ use crate::driver::{BenchParams, RunResult};
 /// decode with the pre-sharding defaults (`shards = 1`, `handle_churn = 0`,
 /// `routing = "by-key"`). Version 3 added `connections` (the async
 /// `kv-service` sweep's simulated-connection count); earlier lines decode
-/// with `connections = 0`, i.e. "not a connection-driven run".
-pub const SCHEMA_VERSION: u64 = 3;
+/// with `connections = 0`, i.e. "not a connection-driven run". Version 4
+/// added `handoff_attempts` (the Crystalline wait-free handoff threshold);
+/// earlier lines decode with the config default of `8`, which is what every
+/// pre-Crystalline run implicitly carried.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One benchmark measurement with full configuration provenance.
 ///
@@ -94,6 +97,10 @@ pub struct BenchRecord {
     /// Shard routing mode as configured (`"by-key"` / `"by-pointer"`;
     /// meaningful only to `Sharded-*` schemes, recorded verbatim).
     pub routing: String,
+    /// Crystalline wait-free handoff threshold as configured (CAS attempts
+    /// per slot before retiring through the handoff cell; other schemes
+    /// ignore the knob, recorded verbatim).
+    pub handoff_attempts: u64,
     /// Simulated connections of an async-service run (`0` = the run was
     /// thread-driven, not connection-driven).
     pub connections: u64,
@@ -195,6 +202,7 @@ impl BenchRecord {
             shards: params.config.shards as u64,
             handle_churn: params.handle_churn,
             routing: params.config.routing.short_label().to_string(),
+            handoff_attempts: params.config.handoff_attempts as u64,
             connections: params.connections,
             git_sha: prov.git_sha.clone(),
             host_cores: prov.host_cores,
@@ -237,6 +245,7 @@ impl BenchRecord {
         push_u64(&mut s, "shards", self.shards);
         push_u64(&mut s, "handle_churn", self.handle_churn);
         push_str(&mut s, "routing", &self.routing);
+        push_u64(&mut s, "handoff_attempts", self.handoff_attempts);
         push_u64(&mut s, "connections", self.connections);
         match &self.git_sha {
             Some(sha) => push_str(&mut s, "git_sha", sha),
@@ -316,6 +325,7 @@ impl BenchRecord {
             shards: get_u64_or("shards", 1)?,
             handle_churn: get_u64_or("handle_churn", 0)?,
             routing: get_str_or("routing", "by-key")?,
+            handoff_attempts: get_u64_or("handoff_attempts", 8)?,
             connections: get_u64_or("connections", 0)?,
             git_sha,
             host_cores: get_u64("host_cores")?,
@@ -719,6 +729,7 @@ mod tests {
             ops: 123_456,
             retired: 100,
             freed: 90,
+            ..RunResult::default()
         };
         let prov = Provenance {
             git_sha: Some("abc123def456".into()),
@@ -801,6 +812,19 @@ mod tests {
         assert!(!line.contains("connections"));
         let back = BenchRecord::decode(&line).expect("schema-2 line decodes");
         assert_eq!(back.connections, 0);
+    }
+
+    #[test]
+    fn schema_three_lines_decode_with_default_handoff_attempts() {
+        // A record written before `handoff_attempts` existed (the committed
+        // v3 baselines) must decode with the config default of 8 — the
+        // value every pre-Crystalline run implicitly carried, so old
+        // baseline lines keep matching new measurements of the same combo.
+        let mut line = sample_record().encode();
+        line = line.replace("\"handoff_attempts\":8,", "");
+        assert!(!line.contains("handoff_attempts"));
+        let back = BenchRecord::decode(&line).expect("schema-3 line decodes");
+        assert_eq!(back.handoff_attempts, 8);
     }
 
     #[test]

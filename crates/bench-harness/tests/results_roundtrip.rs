@@ -78,6 +78,7 @@ proptest! {
             handle_churn: counters.0 % (1 << 32),
             connections: counters.1 ^ more_ints.0,
             routing: if flags.0 { "by-key" } else { "by-pointer" }.to_string(),
+            handoff_attempts: counters.2 ^ more_ints.1,
             git_sha: git_sha_some.then(|| string_from(git_sha)),
             host_cores: counters.3,
             timestamp: string_from(timestamp),

@@ -24,11 +24,11 @@ use smr_core::{NodeHeader, SmrNode};
 use std::sync::atomic::Ordering;
 
 /// Header word holding the slot-list `Next` / birth era / `NRef`.
-pub(crate) const W_NEXT: usize = 0;
+pub const W_NEXT: usize = 0;
 /// Header word holding `batch_link` / the batch `Adjs`.
-pub(crate) const W_LINK: usize = 1;
+pub const W_LINK: usize = 1;
 /// Header word holding the `batch_next` chain (low bit: payload-live flag).
-pub(crate) const W_CHAIN: usize = 2;
+pub const W_CHAIN: usize = 2;
 
 /// Low bit of `W_CHAIN`: set when the node has a live payload.
 const LIVE_BIT: usize = 1;
@@ -40,7 +40,7 @@ const LIVE_BIT: usize = 1;
 /// `node` must point to a live `SmrNode<T>` allocation, and the returned
 /// reference must not outlive the node's reclamation.
 #[inline]
-pub(crate) unsafe fn header<'a, T: 'a>(node: *mut SmrNode<T>) -> &'a NodeHeader {
+pub unsafe fn header<'a, T: 'a>(node: *mut SmrNode<T>) -> &'a NodeHeader {
     (*node).header()
 }
 
@@ -49,15 +49,22 @@ pub(crate) unsafe fn header<'a, T: 'a>(node: *mut SmrNode<T>) -> &'a NodeHeader 
 /// The first node pushed becomes the batch's REFS node (the chain tail); all
 /// later nodes prepend to the chain and point at the REFS node through
 /// `word 1`.
-pub(crate) struct LocalBatch<T> {
+pub struct LocalBatch<T> {
     chain_head: *mut SmrNode<T>,
     refs_node: *mut SmrNode<T>,
     count: usize,
     min_birth: u64,
 }
 
+impl<T> Default for LocalBatch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<T> LocalBatch<T> {
-    pub(crate) fn new() -> Self {
+    /// An empty batch.
+    pub fn new() -> Self {
         Self {
             chain_head: std::ptr::null_mut(),
             refs_node: std::ptr::null_mut(),
@@ -66,11 +73,13 @@ impl<T> LocalBatch<T> {
         }
     }
 
-    pub(crate) fn count(&self) -> usize {
+    /// Number of nodes pushed so far.
+    pub fn count(&self) -> usize {
         self.count
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// Whether no node has been pushed yet.
+    pub fn is_empty(&self) -> bool {
         self.count == 0
     }
 
@@ -80,7 +89,7 @@ impl<T> LocalBatch<T> {
     ///
     /// `node` must be exclusively owned (already unlinked and retired) and
     /// must remain untouched until the batch is finalized and inserted.
-    pub(crate) unsafe fn push(&mut self, node: *mut SmrNode<T>, birth: u64, live: bool) {
+    pub unsafe fn push(&mut self, node: *mut SmrNode<T>, birth: u64, live: bool) {
         let live_flag = if live { LIVE_BIT } else { 0 };
         header(node)
             .word(W_CHAIN)
@@ -105,7 +114,7 @@ impl<T> LocalBatch<T> {
     /// # Safety
     ///
     /// The batch must be non-empty.
-    pub(crate) unsafe fn finalize(&mut self, adjs: usize) -> FinalizedBatch<T> {
+    pub unsafe fn finalize(&mut self, adjs: usize) -> FinalizedBatch<T> {
         debug_assert!(!self.is_empty());
         let refs = self.refs_node;
         header(refs).word(W_NEXT).store(0, Ordering::Relaxed); // NRef = 0
@@ -126,11 +135,15 @@ impl<T> LocalBatch<T> {
 }
 
 /// A frozen batch ready for insertion into the slot lists.
-pub(crate) struct FinalizedBatch<T> {
-    pub(crate) refs_node: *mut SmrNode<T>,
-    pub(crate) chain_head: *mut SmrNode<T>,
-    pub(crate) min_birth: u64,
-    pub(crate) count: usize,
+pub struct FinalizedBatch<T> {
+    /// The REFS node carrying the batch's `NRef` counter (chain tail).
+    pub refs_node: *mut SmrNode<T>,
+    /// First node of the batch chain.
+    pub chain_head: *mut SmrNode<T>,
+    /// Smallest birth era among the batch's nodes (`u64::MAX` for dummies).
+    pub min_birth: u64,
+    /// Total nodes in the batch, dummies included.
+    pub count: usize,
 }
 
 impl<T> FinalizedBatch<T> {
@@ -147,7 +160,7 @@ impl<T> FinalizedBatch<T> {
     ///
     /// Must only be called by the inserting thread before the batch's final
     /// [`adjust_refs`] call.
-    pub(crate) unsafe fn extend_with_dummy(&mut self) -> *mut SmrNode<T> {
+    pub unsafe fn extend_with_dummy(&mut self) -> *mut SmrNode<T> {
         let dummy = SmrNode::<T>::alloc_dummy().as_ptr();
         header(dummy)
             .word(W_LINK)
@@ -171,7 +184,7 @@ impl<T> FinalizedBatch<T> {
 ///
 /// `node` must be a live batch node.
 #[inline]
-pub(crate) unsafe fn chain_next<T>(node: *mut SmrNode<T>) -> *mut SmrNode<T> {
+pub unsafe fn chain_next<T>(node: *mut SmrNode<T>) -> *mut SmrNode<T> {
     // ORDERING: Relaxed suffices — `word 2` chain links are written before the
     // batch is published (finalize/retire is the release point), so any thread
     // walking the chain already synchronized via the slot-list Acquire load.
@@ -187,7 +200,7 @@ pub(crate) unsafe fn chain_next<T>(node: *mut SmrNode<T>) -> *mut SmrNode<T> {
 /// `node` must be a non-REFS batch node whose batch has been finalized, and
 /// the caller must still hold a logical reference to it.
 #[inline]
-pub(crate) unsafe fn decrement<T>(node: *mut SmrNode<T>, reap: &mut Vec<*mut SmrNode<T>>) {
+pub unsafe fn decrement<T>(node: *mut SmrNode<T>, reap: &mut Vec<*mut SmrNode<T>>) {
     let refs = header(node).word(W_LINK).load(Ordering::Acquire) as *mut SmrNode<T>;
     adjust_refs(refs, 1usize.wrapping_neg(), reap);
 }
@@ -202,7 +215,7 @@ pub(crate) unsafe fn decrement<T>(node: *mut SmrNode<T>, reap: &mut Vec<*mut Smr
 ///
 /// Same requirements as [`decrement`].
 #[inline]
-pub(crate) unsafe fn adjust_slot_credit<T>(
+pub unsafe fn adjust_slot_credit<T>(
     node: *mut SmrNode<T>,
     href_snapshot: usize,
     reap: &mut Vec<*mut SmrNode<T>>,
@@ -219,7 +232,7 @@ pub(crate) unsafe fn adjust_slot_credit<T>(
 ///
 /// `refs` must be a finalized batch's REFS node.
 #[inline]
-pub(crate) unsafe fn adjust_refs<T>(
+pub unsafe fn adjust_refs<T>(
     refs: *mut SmrNode<T>,
     val: usize,
     reap: &mut Vec<*mut SmrNode<T>>,
@@ -237,7 +250,7 @@ pub(crate) unsafe fn adjust_refs<T>(
 ///
 /// The batch's `NRef` must have crossed zero: no thread can still reference
 /// any node of the batch.
-pub(crate) unsafe fn free_batch<T>(refs: *mut SmrNode<T>) -> u64 {
+pub unsafe fn free_batch<T>(refs: *mut SmrNode<T>) -> u64 {
     let refs_word = header(refs).word(W_CHAIN).load(Ordering::Acquire);
     let mut cur = (refs_word & !LIVE_BIT) as *mut SmrNode<T>;
     let mut freed = 0u64;

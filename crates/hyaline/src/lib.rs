@@ -41,7 +41,7 @@
 
 #![warn(missing_docs)]
 
-mod batch;
+pub mod batch;
 pub mod head;
 mod hyaline;
 mod hyaline1;

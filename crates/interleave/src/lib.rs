@@ -33,7 +33,12 @@
 //! dirty check-ins, ticket pushes, background drains, and the shutdown
 //! handshake — with fault-injected variants (acknowledging shutdown before
 //! draining, dropping a refused ticket, double-freeing a batch) that the
-//! end-state and join-point invariants must catch.
+//! end-state and join-point invariants must catch. The [`crystalline`]
+//! module explores the Crystalline protocols the same way: the wait-free
+//! batch handoff (occupancy-tagged cell entries, displacement, adoption)
+//! and the Crystalline-W era-certification helping, again with
+//! fault-injected variants (unconditional release, a forgotten handoff
+//! reference, certifying before touching) that must each be caught.
 //!
 //! The exploration assumes **sequential consistency**: it interleaves atomic
 //! actions but does not model weaker memory orderings. The production crates
@@ -56,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crystalline;
 pub mod explorer;
 pub mod llsc;
 pub mod model;
@@ -63,6 +69,7 @@ pub mod pool;
 pub mod reclaimer;
 pub mod scenarios;
 
+pub use crystalline::{CrystalFault, CrystalOutcome, CrystalScenario, CrystalViolation};
 pub use explorer::{Explorer, Outcome, Violation};
 pub use llsc::{LlscFault, LlscOutcome, LlscScenario, LlscViolation};
 pub use model::{HyalineModel, ModelConfig, ThreadProgram, Variant};

@@ -101,6 +101,11 @@ pub struct SmrConfig {
     /// How a [`Sharded`](crate::Sharded) domain routes traffic to shards.
     /// Ignored by plain schemes.
     pub routing: ShardRouting,
+    /// Crystalline only: how many CAS attempts `retire` makes on one slot's
+    /// retirement list before falling back to the wait-free handoff cell
+    /// (`0` forces every insertion through the handoff path, which is useful
+    /// for tests). Other schemes ignore it.
+    pub handoff_attempts: usize,
 }
 
 impl SmrConfig {
@@ -187,6 +192,7 @@ impl Default for SmrConfig {
             max_threads: 1024,
             shards: 1,
             routing: ShardRouting::ByKey,
+            handoff_attempts: 8,
         }
     }
 }

@@ -119,6 +119,21 @@ pub trait Smr<T: Send + 'static>: Send + Sync + Sized + 'static {
         false
     }
 
+    /// Whether [`SmrHandle::retire`] is *wait-free*: a retiring thread
+    /// completes the insertion of its batch into every slot in a bounded
+    /// number of its own steps, regardless of how other threads are
+    /// scheduled.
+    ///
+    /// Hyaline's retire is lock-free — a CAS loop per slot can be starved by
+    /// concurrent insertions into the same slot list. The Crystalline
+    /// variants bound the CAS attempts (see
+    /// [`SmrConfig::handoff_attempts`]) and then fall back to an
+    /// unconditional swap into a per-slot handoff cell, so retire is
+    /// wait-free.
+    fn wait_free_retire() -> bool {
+        false
+    }
+
     /// Whether traversals must re-validate their window after each new
     /// [`SmrHandle::protect`] and restart when an edge changed.
     ///

@@ -28,6 +28,19 @@
 //! permitted inside `#[cfg(test)]` modules and `bench*` crates. The
 //! `smr-async` blocking ban has no such carve-out: a test that parks a
 //! shared worker deadlocks the executor exactly like production code.
+//!
+//! The `thread::sleep` ban's scope, precisely: it covers production code
+//! in every non-`bench*` crate — above all the scheme crates whose
+//! progress claims the rule protects. `hyaline` advertises lock-free
+//! operations and `crystalline` a *wait-free* retire; a single timed
+//! block on either's retire/protect path would silently void the bound
+//! the crate exists for, which is why those crates carry a zero
+//! `forbidden` baseline and must stay there. The carve-outs are `bench*`
+//! crates (sleeping is the measured workload — the stalled-reader and
+//! robustness sweeps park readers on purpose), `tests/` directories, and
+//! `#[cfg(test)]` regions; none of them apply inside
+//! `crates/smr-async/src`, where blocking a shared worker stalls every
+//! task multiplexed onto it.
 
 use crate::lexer::{lex, Lexed};
 

@@ -128,6 +128,21 @@ smoke! {
     smoke_he => smr_baselines::He<Tracked<u64>>,
     smoke_ibr => smr_baselines::Ibr<Tracked<u64>>,
     smoke_lfrc => smr_baselines::Lfrc<Tracked<u64>>,
+    smoke_crystalline_l => crystalline::CrystallineL<Tracked<u64>>,
+    smoke_crystalline_w => crystalline::CrystallineW<Tracked<u64>>,
+}
+
+/// Crystalline with `handoff_attempts: 0`: every retire is forced through
+/// the per-slot handoff cell — the wait-free path the scheme exists for.
+/// Exact drop balance must survive pure handoff traffic too.
+#[test]
+fn smoke_crystalline_l_forced_handoff() {
+    let registry = churn_with::<crystalline::CrystallineL<Tracked<u64>>>(SmrConfig {
+        handoff_attempts: 0,
+        ..cfg()
+    });
+    registry.assert_quiescent();
+    assert_eq!(registry.created(), THREADS as u64 * OPS_PER_THREAD);
 }
 
 /// `Leaky` is the deliberate exception: retirement must never free anything,

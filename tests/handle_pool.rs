@@ -2,6 +2,7 @@
 //! `SmrConfig::max_threads` on registry-based schemes must park-and-reuse
 //! handles instead of panicking, with exact drop balance.
 
+use crystalline::{CrystallineL, CrystallineW};
 use smr_baselines::{Ebr, Hp};
 use smr_core::{HandlePool, Smr, SmrConfig, SmrHandle};
 use smr_testkit::drop_tracker::{DropRegistry, Tracked};
@@ -73,6 +74,74 @@ fn ebr_oversubscription_parks_and_reuses() {
 fn hp_oversubscription_parks_and_reuses() {
     let registry = oversubscribed_churn::<Hp<Tracked<u64>>>(4);
     registry.assert_quiescent();
+}
+
+#[test]
+fn crystalline_l_oversubscription_parks_and_reuses() {
+    let registry = oversubscribed_churn::<CrystallineL<Tracked<u64>>>(4);
+    registry.assert_quiescent();
+    assert_eq!(
+        registry.created(),
+        (TASKS * ROUNDS) as u64 * OPS_PER_ROUND,
+        "payload count mismatch"
+    );
+}
+
+#[test]
+fn crystalline_w_oversubscription_parks_and_reuses() {
+    let registry = oversubscribed_churn::<CrystallineW<Tracked<u64>>>(4);
+    registry.assert_quiescent();
+    assert_eq!(
+        registry.created(),
+        (TASKS * ROUNDS) as u64 * OPS_PER_ROUND,
+        "payload count mismatch"
+    );
+}
+
+/// Crystalline handles carry scheme-local state across threads: with
+/// `handoff_attempts: 0` every retire goes through the per-slot handoff
+/// cell, so a handle may be holding adopted batches when it parks. Each
+/// round runs two fresh OS threads over the same 2-handle pool, so the
+/// same handle (and whatever it adopted) keeps moving to new threads.
+/// Exact drop balance after the domain drops proves no adopted batch was
+/// stranded or double-freed along the way.
+#[test]
+fn crystalline_handles_migrate_with_adopted_batches() {
+    let registry = DropRegistry::new();
+    {
+        let domain: CrystallineL<Tracked<u64>> = Smr::with_config(SmrConfig {
+            handoff_attempts: 0,
+            ..cfg(2)
+        });
+        let pool = HandlePool::new(&domain, 2);
+        for round in 0..ROUNDS {
+            std::thread::scope(|scope| {
+                for task in 0..2u64 {
+                    let registry = &registry;
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        let mut h = pool.checkout();
+                        for i in 0..OPS_PER_ROUND {
+                            h.enter();
+                            let value = registry
+                                .track((round as u64 * 2 + task) * OPS_PER_ROUND + i);
+                            let node = h.alloc(value);
+                            unsafe { h.retire(node) };
+                            h.leave();
+                        }
+                    }); // guard drop flushes + parks
+                }
+            });
+        }
+        assert!(pool.issued() <= 2, "pool overgrew its cap");
+        assert_eq!(pool.parked(), pool.issued(), "all handles parked");
+    }
+    registry.assert_quiescent();
+    assert_eq!(
+        registry.created(),
+        (ROUNDS as u64 * 2) * OPS_PER_ROUND,
+        "payload count mismatch"
+    );
 }
 
 /// The baseline behavior the pool exists to fix: creating handles directly
