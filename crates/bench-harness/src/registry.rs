@@ -3,7 +3,10 @@
 
 use crystalline::{CrystallineL, CrystallineW};
 use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
-use lockfree_ds::{BonsaiTree, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree};
+use lockfree_ds::{
+    BonsaiTree, BoundedMpmcQueue, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree,
+    SkipListMap,
+};
 use smr_baselines::{Ebr, He, Hp, Ibr, Leaky, Lfrc};
 use smr_core::Sharded;
 
@@ -46,8 +49,10 @@ pub const ALL_SCHEMES: &[&str] = &[
     "Crystalline-W",
 ];
 
-/// The benchmark structures, matching the paper's four sub-figures.
-pub const STRUCTURES: &[&str] = &["list", "hashmap", "bonsai", "nmtree"];
+/// The benchmark structures: the paper's four sub-figures plus the two
+/// typed-layer additions (skip-list map and bounded MPMC queue driven
+/// through the same [`lockfree_ds::ConcurrentMap`] interface).
+pub const STRUCTURES: &[&str] = &["list", "hashmap", "bonsai", "nmtree", "skiplist", "mpmc"];
 
 /// Whether the combination is supported.
 ///
@@ -82,6 +87,8 @@ pub fn run_combo(scheme: &str, structure: &str, params: &BenchParams) -> Option<
                 "nmtree" => {
                     Some(run_bench::<$scheme_ty, NatarajanMittalTree<u64, u64, _>>(params))
                 }
+                "skiplist" => Some(run_bench::<$scheme_ty, SkipListMap<u64, u64, _>>(params)),
+                "mpmc" => Some(run_bench::<$scheme_ty, BoundedMpmcQueue<u64, _>>(params)),
                 _ => None,
             }
         };
@@ -182,7 +189,7 @@ mod tests {
     #[test]
     fn unknown_names_rejected() {
         assert!(run_combo("RCU", "list", &quick()).is_none());
-        assert!(run_combo("Epoch", "skiplist", &quick()).is_none());
+        assert!(run_combo("Epoch", "splay", &quick()).is_none());
     }
 
     #[test]

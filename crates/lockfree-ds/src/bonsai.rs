@@ -14,11 +14,16 @@
 //! HP/HE cannot run it: a bounded set of hazard indices cannot cover an
 //! unboundedly deep snapshot traversal ("HP and HE are not implemented for
 //! this benchmark due to the complexity of the tree rotation operations"
-//! \[35\]). Interval/era schemes cover it because [`SmrHandle::protect`] is
-//! called on every hop, ratcheting the reservation.
+//! \[35\]). Interval/era schemes cover it because the protected load is
+//! repeated on every hop, ratcheting the reservation.
+//!
+//! Written against the typed-pointer layer (`smr_core::typed`): the
+//! traversals are safe code, and the remaining `unsafe` is the write-set
+//! ownership argument (fresh nodes are exclusively ours until the root CAS
+//! publishes them) plus the exclusive teardown in `Drop`.
 
-use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::Ordering;
+use smr_core::typed::{Atomic, Guard, Ptr, Shared};
+use smr_core::{Smr, SmrConfig, SmrHandle};
 
 /// Weight-balance constants (the proven-correct Adams pair).
 const DELTA: usize = 3;
@@ -103,8 +108,8 @@ where
 /// Per-write bookkeeping: nodes created for the new version and snapshot
 /// nodes the new version replaces.
 struct WriteSet<K, V> {
-    fresh: Vec<Shared<BonsaiNode<K, V>>>,
-    replaced: Vec<Shared<BonsaiNode<K, V>>>,
+    fresh: Vec<Ptr<BonsaiNode<K, V>>>,
+    replaced: Vec<Ptr<BonsaiNode<K, V>>>,
 }
 
 impl<K, V> WriteSet<K, V> {
@@ -118,10 +123,16 @@ impl<K, V> WriteSet<K, V> {
     /// Records that `node` does not appear in the new version: fresh nodes
     /// are deallocated immediately (never published), snapshot nodes are
     /// retired once the root CAS succeeds.
-    fn discard<H: SmrHandle<BonsaiNode<K, V>>>(&mut self, h: &mut H, node: Shared<BonsaiNode<K, V>>) {
+    fn discard<H: SmrHandle<BonsaiNode<K, V>>>(
+        &mut self,
+        g: &Guard<'_, BonsaiNode<K, V>, H>,
+        node: Ptr<BonsaiNode<K, V>>,
+    ) {
         if let Some(pos) = self.fresh.iter().rposition(|&f| f == node) {
             self.fresh.swap_remove(pos);
-            unsafe { h.dealloc(node) };
+            // SAFETY: `node` came out of `fresh` — it was allocated by this
+            // write attempt and never published, so it is exclusively ours.
+            unsafe { g.dealloc(node) };
         } else {
             self.replaced.push(node);
         }
@@ -163,185 +174,189 @@ where
         self.domain.handle()
     }
 
-    fn size(node: Shared<BonsaiNode<K, V>>) -> usize {
-        if node.is_null() {
-            0
-        } else {
-            unsafe { node.deref() }.size
-        }
+    fn size(node: Shared<'_, BonsaiNode<K, V>>) -> usize {
+        node.as_ref().map_or(0, |n| n.size)
     }
 
-    fn mk<'a>(
+    fn mk<'a, 'g>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &'g Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: &mut WriteSet<K, V>,
         key: K,
         value: V,
-        left: Shared<BonsaiNode<K, V>>,
-        right: Shared<BonsaiNode<K, V>>,
-    ) -> Shared<BonsaiNode<K, V>> {
-        let node = h.alloc(BonsaiNode {
-            key,
-            value,
-            size: 1 + Self::size(left) + Self::size(right),
-            left: Atomic::new(left),
-            right: Atomic::new(right),
-        });
+        left: Shared<'g, BonsaiNode<K, V>>,
+        right: Shared<'g, BonsaiNode<K, V>>,
+    ) -> Shared<'g, BonsaiNode<K, V>> {
+        let node = g
+            .alloc(BonsaiNode {
+                key,
+                value,
+                size: 1 + Self::size(left) + Self::size(right),
+                left: Atomic::new(left),
+                right: Atomic::new(right),
+            })
+            .into_ptr();
         ws.fresh.push(node);
-        node
+        // SAFETY: the node is unpublished and tracked by the write set; it
+        // stays ours (and live) until the root CAS either publishes it or
+        // the rollback in `publish` deallocates it — both within this guard.
+        unsafe { node.as_shared(g) }
     }
 
     /// Adams' rebalancing smart constructor: joins `left`/`right` under
     /// `(key, value)`, rotating (with fresh copies) when one side outweighs
     /// the other by more than `DELTA`.
-    fn join<'a>(
+    fn join<'a, 'g>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &'g Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: &mut WriteSet<K, V>,
         key: K,
         value: V,
-        left: Shared<BonsaiNode<K, V>>,
-        right: Shared<BonsaiNode<K, V>>,
-    ) -> Shared<BonsaiNode<K, V>> {
+        left: Shared<'g, BonsaiNode<K, V>>,
+        right: Shared<'g, BonsaiNode<K, V>>,
+    ) -> Shared<'g, BonsaiNode<K, V>> {
         let ls = Self::size(left);
         let rs = Self::size(right);
         if ls + rs <= 1 {
-            return self.mk(h, ws, key, value, left, right);
+            return self.mk(g, ws, key, value, left, right);
         }
         if rs > DELTA * ls {
             // Right-heavy: rotate left.
-            let r_ref = unsafe { right.deref() };
-            let rl = h.protect(I_TRAV, &r_ref.left);
-            let rr = h.protect(I_TRAV, &r_ref.right);
+            let r_ref = right.deref();
+            let rl = r_ref.left.load(I_TRAV, g);
+            let rr = r_ref.right.load(I_TRAV, g);
             let (rk, rv) = (r_ref.key.clone(), r_ref.value.clone());
-            ws.discard(h, right);
+            ws.discard(g, right.into());
             if Self::size(rl) < RATIO * Self::size(rr) {
                 // Single rotation.
-                let new_left = self.join(h, ws, key, value, left, rl);
-                self.mk(h, ws, rk, rv, new_left, rr)
+                let new_left = self.join(g, ws, key, value, left, rl);
+                self.mk(g, ws, rk, rv, new_left, rr)
             } else {
                 // Double rotation through rl.
-                let rl_ref = unsafe { rl.deref() };
-                let rll = h.protect(I_TRAV, &rl_ref.left);
-                let rlr = h.protect(I_TRAV, &rl_ref.right);
+                let rl_ref = rl.deref();
+                let rll = rl_ref.left.load(I_TRAV, g);
+                let rlr = rl_ref.right.load(I_TRAV, g);
                 let (rlk, rlv) = (rl_ref.key.clone(), rl_ref.value.clone());
-                ws.discard(h, rl);
-                let new_left = self.join(h, ws, key, value, left, rll);
-                let new_right = self.mk(h, ws, rk, rv, rlr, rr);
-                self.mk(h, ws, rlk, rlv, new_left, new_right)
+                ws.discard(g, rl.into());
+                let new_left = self.join(g, ws, key, value, left, rll);
+                let new_right = self.mk(g, ws, rk, rv, rlr, rr);
+                self.mk(g, ws, rlk, rlv, new_left, new_right)
             }
         } else if ls > DELTA * rs {
             // Left-heavy: rotate right.
-            let l_ref = unsafe { left.deref() };
-            let ll = h.protect(I_TRAV, &l_ref.left);
-            let lr = h.protect(I_TRAV, &l_ref.right);
+            let l_ref = left.deref();
+            let ll = l_ref.left.load(I_TRAV, g);
+            let lr = l_ref.right.load(I_TRAV, g);
             let (lk, lv) = (l_ref.key.clone(), l_ref.value.clone());
-            ws.discard(h, left);
+            ws.discard(g, left.into());
             if Self::size(lr) < RATIO * Self::size(ll) {
-                let new_right = self.join(h, ws, key, value, lr, right);
-                self.mk(h, ws, lk, lv, ll, new_right)
+                let new_right = self.join(g, ws, key, value, lr, right);
+                self.mk(g, ws, lk, lv, ll, new_right)
             } else {
-                let lr_ref = unsafe { lr.deref() };
-                let lrl = h.protect(I_TRAV, &lr_ref.left);
-                let lrr = h.protect(I_TRAV, &lr_ref.right);
+                let lr_ref = lr.deref();
+                let lrl = lr_ref.left.load(I_TRAV, g);
+                let lrr = lr_ref.right.load(I_TRAV, g);
                 let (lrk, lrv) = (lr_ref.key.clone(), lr_ref.value.clone());
-                ws.discard(h, lr);
-                let new_left = self.mk(h, ws, lk, lv, ll, lrl);
-                let new_right = self.join(h, ws, key, value, lrr, right);
-                self.mk(h, ws, lrk, lrv, new_left, new_right)
+                ws.discard(g, lr.into());
+                let new_left = self.mk(g, ws, lk, lv, ll, lrl);
+                let new_right = self.join(g, ws, key, value, lrr, right);
+                self.mk(g, ws, lrk, lrv, new_left, new_right)
             }
         } else {
-            self.mk(h, ws, key, value, left, right)
+            self.mk(g, ws, key, value, left, right)
         }
     }
 
     /// Rebuilds the path for an insert; `None` if the key already exists.
-    fn do_insert<'a>(
+    fn do_insert<'a, 'g>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &'g Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: &mut WriteSet<K, V>,
-        node: Shared<BonsaiNode<K, V>>,
+        node: Shared<'g, BonsaiNode<K, V>>,
         key: &K,
         value: &V,
-    ) -> Option<Shared<BonsaiNode<K, V>>> {
-        if node.is_null() {
-            return Some(self.mk(h, ws, key.clone(), value.clone(), Shared::null(), Shared::null()));
-        }
-        let n = unsafe { node.deref() };
+    ) -> Option<Shared<'g, BonsaiNode<K, V>>> {
+        let Some(n) = node.as_ref() else {
+            return Some(self.mk(
+                g,
+                ws,
+                key.clone(),
+                value.clone(),
+                Shared::null(),
+                Shared::null(),
+            ));
+        };
         if *key == n.key {
             return None;
         }
-        let left = h.protect(I_TRAV, &n.left);
-        let right = h.protect(I_TRAV, &n.right);
+        let left = n.left.load(I_TRAV, g);
+        let right = n.right.load(I_TRAV, g);
         let (nk, nv) = (n.key.clone(), n.value.clone());
         let joined = if *key < n.key {
-            let new_left = self.do_insert(h, ws, left, key, value)?;
-            ws.discard(h, node);
-            self.join(h, ws, nk, nv, new_left, right)
+            let new_left = self.do_insert(g, ws, left, key, value)?;
+            ws.discard(g, node.into());
+            self.join(g, ws, nk, nv, new_left, right)
         } else {
-            let new_right = self.do_insert(h, ws, right, key, value)?;
-            ws.discard(h, node);
-            self.join(h, ws, nk, nv, left, new_right)
+            let new_right = self.do_insert(g, ws, right, key, value)?;
+            ws.discard(g, node.into());
+            self.join(g, ws, nk, nv, left, new_right)
         };
         Some(joined)
     }
 
     /// Pops the minimum of a non-null snapshot subtree.
-    fn remove_min<'a>(
+    fn remove_min<'a, 'g>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &'g Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: &mut WriteSet<K, V>,
-        node: Shared<BonsaiNode<K, V>>,
-    ) -> (K, V, Shared<BonsaiNode<K, V>>) {
-        let n = unsafe { node.deref() };
-        let left = h.protect(I_TRAV, &n.left);
-        let right = h.protect(I_TRAV, &n.right);
+        node: Shared<'g, BonsaiNode<K, V>>,
+    ) -> (K, V, Shared<'g, BonsaiNode<K, V>>) {
+        let n = node.deref();
+        let left = n.left.load(I_TRAV, g);
+        let right = n.right.load(I_TRAV, g);
         if left.is_null() {
-            ws.discard(h, node);
+            ws.discard(g, node.into());
             return (n.key.clone(), n.value.clone(), right);
         }
         let (nk, nv) = (n.key.clone(), n.value.clone());
-        let (mk, mv, new_left) = self.remove_min(h, ws, left);
-        ws.discard(h, node);
-        (mk, mv, self.join(h, ws, nk, nv, new_left, right))
+        let (mk, mv, new_left) = self.remove_min(g, ws, left);
+        ws.discard(g, node.into());
+        (mk, mv, self.join(g, ws, nk, nv, new_left, right))
     }
 
     /// Rebuilds the path for a remove; `None` if the key is absent.
-    fn do_remove<'a>(
+    fn do_remove<'a, 'g>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &'g Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: &mut WriteSet<K, V>,
-        node: Shared<BonsaiNode<K, V>>,
+        node: Shared<'g, BonsaiNode<K, V>>,
         key: &K,
-    ) -> Option<(Shared<BonsaiNode<K, V>>, V)> {
-        if node.is_null() {
-            return None;
-        }
-        let n = unsafe { node.deref() };
-        let left = h.protect(I_TRAV, &n.left);
-        let right = h.protect(I_TRAV, &n.right);
+    ) -> Option<(Shared<'g, BonsaiNode<K, V>>, V)> {
+        let n = node.as_ref()?;
+        let left = n.left.load(I_TRAV, g);
+        let right = n.right.load(I_TRAV, g);
         if *key == n.key {
             let value = n.value.clone();
-            ws.discard(h, node);
+            ws.discard(g, node.into());
             let merged = if left.is_null() {
                 right
             } else if right.is_null() {
                 left
             } else {
-                let (mk, mv, new_right) = self.remove_min(h, ws, right);
-                self.join(h, ws, mk, mv, left, new_right)
+                let (mk, mv, new_right) = self.remove_min(g, ws, right);
+                self.join(g, ws, mk, mv, left, new_right)
             };
             return Some((merged, value));
         }
         let (nk, nv) = (n.key.clone(), n.value.clone());
         let joined = if *key < n.key {
-            let (new_left, value) = self.do_remove(h, ws, left, key)?;
-            ws.discard(h, node);
-            (self.join(h, ws, nk, nv, new_left, right), value)
+            let (new_left, value) = self.do_remove(g, ws, left, key)?;
+            ws.discard(g, node.into());
+            (self.join(g, ws, nk, nv, new_left, right), value)
         } else {
-            let (new_right, value) = self.do_remove(h, ws, right, key)?;
-            ws.discard(h, node);
-            (self.join(h, ws, nk, nv, left, new_right), value)
+            let (new_right, value) = self.do_remove(g, ws, right, key)?;
+            ws.discard(g, node.into());
+            (self.join(g, ws, nk, nv, left, new_right), value)
         };
         Some(joined)
     }
@@ -349,13 +364,13 @@ where
     /// Looks up `key` in the current snapshot. Must be called between
     /// `enter` and `leave`.
     pub fn get<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
-        let mut node = h.protect(I_ROOT, &self.root);
-        while !node.is_null() {
-            let n = unsafe { node.deref() };
+        let g = Guard::over(h);
+        let mut node = self.root.load(I_ROOT, &g);
+        while let Some(n) = node.as_ref() {
             node = if *key < n.key {
-                h.protect(I_TRAV, &n.left)
+                n.left.load(I_TRAV, &g)
             } else if *key > n.key {
-                h.protect(I_TRAV, &n.right)
+                n.right.load(I_TRAV, &g)
             } else {
                 return Some(n.value.clone());
             };
@@ -371,14 +386,15 @@ where
     /// Inserts `key -> value`; `false` if present. Must be called between
     /// `enter` and `leave`.
     pub fn insert<'a>(&'a self, h: &mut S::Handle<'a>, key: K, value: V) -> bool {
+        let g = Guard::over(h);
         loop {
-            let root = h.protect(I_ROOT, &self.root);
+            let root = self.root.load(I_ROOT, &g);
             let mut ws = WriteSet::new();
-            let Some(new_root) = self.do_insert(h, &mut ws, root, &key, &value) else {
+            let Some(new_root) = self.do_insert(&g, &mut ws, root, &key, &value) else {
                 debug_assert!(ws.fresh.is_empty());
                 return false;
             };
-            if self.publish(h, ws, root, new_root) {
+            if self.publish(&g, ws, root, new_root) {
                 return true;
             }
         }
@@ -387,14 +403,15 @@ where
     /// Removes `key`, returning its value. Must be called between `enter`
     /// and `leave`.
     pub fn remove<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        let g = Guard::over(h);
         loop {
-            let root = h.protect(I_ROOT, &self.root);
+            let root = self.root.load(I_ROOT, &g);
             let mut ws = WriteSet::new();
-            let Some((new_root, value)) = self.do_remove(h, &mut ws, root, key) else {
+            let Some((new_root, value)) = self.do_remove(&g, &mut ws, root, key) else {
                 debug_assert!(ws.fresh.is_empty());
                 return None;
             };
-            if self.publish(h, ws, root, new_root) {
+            if self.publish(&g, ws, root, new_root) {
                 return Some(value);
             }
         }
@@ -403,23 +420,25 @@ where
     /// Installs a new version; on failure rolls the write set back.
     fn publish<'a>(
         &'a self,
-        h: &mut S::Handle<'a>,
+        g: &Guard<'_, BonsaiNode<K, V>, S::Handle<'a>>,
         ws: WriteSet<K, V>,
-        old_root: Shared<BonsaiNode<K, V>>,
-        new_root: Shared<BonsaiNode<K, V>>,
+        old_root: Shared<'_, BonsaiNode<K, V>>,
+        new_root: Shared<'_, BonsaiNode<K, V>>,
     ) -> bool {
-        if self
-            .root
-            .compare_exchange(old_root, new_root, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
+        if self.root.compare_exchange(old_root, new_root).is_ok() {
             for node in ws.replaced {
-                unsafe { h.retire(node) };
+                // SAFETY: the root CAS displaced the snapshot these nodes
+                // belonged to; path-copying means no later version links to
+                // them, and only the CAS winner walks this write set, so
+                // each node is retired exactly once.
+                unsafe { g.defer_retire(node) };
             }
             true
         } else {
             for node in ws.fresh {
-                unsafe { h.dealloc(node) };
+                // SAFETY: the CAS failed, so none of the fresh nodes were
+                // ever published — they are still exclusively ours.
+                unsafe { g.dealloc(node) };
             }
             false
         }
@@ -427,7 +446,8 @@ where
 
     /// Number of keys in the current snapshot.
     pub fn len<'a>(&'a self, h: &mut S::Handle<'a>) -> usize {
-        Self::size(h.protect(I_ROOT, &self.root))
+        let g = Guard::over(h);
+        Self::size(self.root.load(I_ROOT, &g))
     }
 
     /// Whether the tree is empty.
@@ -444,15 +464,19 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        let mut stack = vec![self.root.load(Ordering::Acquire)];
+        let g = Guard::over(&mut handle);
+        let mut stack = vec![self.root.fetch()];
         while let Some(node) = stack.pop() {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `Drop` has `&mut self` — no concurrent access; the
+            // final snapshot is exclusively ours to walk and free.
             let n = unsafe { node.deref() };
-            stack.push(n.left.load(Ordering::Acquire));
-            stack.push(n.right.load(Ordering::Acquire));
-            unsafe { handle.dealloc(node) };
+            stack.push(n.left.fetch());
+            stack.push(n.right.fetch());
+            // SAFETY: same exclusive-teardown argument.
+            unsafe { g.dealloc(node) };
         }
     }
 }
@@ -508,13 +532,16 @@ mod tests {
     }
 
     /// The weight-balance invariant, checked recursively on a quiesced tree.
-    fn check_balance(node: Shared<BonsaiNode<u64, u64>>) -> usize {
+    fn check_balance(node: Ptr<BonsaiNode<u64, u64>>) -> usize {
         if node.is_null() {
             return 0;
         }
+        // SAFETY: the callers hold `&tree` with every writer quiesced (the
+        // test is single-threaded at this point), so no node can be retired
+        // or freed during the walk.
         let n = unsafe { node.deref() };
-        let ls = check_balance(n.left.load(Ordering::Acquire));
-        let rs = check_balance(n.right.load(Ordering::Acquire));
+        let ls = check_balance(n.left.fetch());
+        let rs = check_balance(n.right.fetch());
         assert_eq!(n.size, 1 + ls + rs, "size field corrupt");
         if ls + rs > 1 {
             assert!(ls <= DELTA * rs, "left-heavy violation: {ls} vs {rs}");
@@ -532,11 +559,11 @@ mod tests {
         for i in 0..1_000 {
             tree.insert(&mut h, i, i);
         }
-        check_balance(tree.root.load(Ordering::Acquire));
+        check_balance(tree.root.fetch());
         for i in 0..500 {
             tree.remove(&mut h, &(i * 2));
         }
-        check_balance(tree.root.load(Ordering::Acquire));
+        check_balance(tree.root.fetch());
         h.leave();
     }
 

@@ -1,7 +1,8 @@
 //! Michael's lock-free hash map \[26\]: a fixed array of Harris–Michael
 //! sorted-list buckets (the paper's Figure 8c/9c benchmark structure).
 
-use smr_core::{Atomic, Smr, SmrConfig, SmrHandle};
+use smr_core::typed::{Atomic, Guard};
+use smr_core::{Smr, SmrConfig, SmrHandle};
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 
 use crate::list::{self, ListNode};
@@ -140,7 +141,7 @@ where
     /// Looks up `key`. Must be called between `enter` and `leave`.
     pub fn get<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
         let bucket = self.pinned_bucket(handle, self.bucket_index(key));
-        unsafe { list::get(handle, bucket, key) }
+        list::get(&Guard::over(handle), bucket, key)
     }
 
     /// Whether `key` is present. Must be called between `enter` and `leave`.
@@ -152,14 +153,14 @@ where
     /// `enter` and `leave`.
     pub fn insert<'a>(&'a self, handle: &mut S::Handle<'a>, key: K, value: V) -> bool {
         let bucket = self.pinned_bucket(handle, self.bucket_index(&key));
-        unsafe { list::insert(handle, bucket, key, value) }
+        list::insert(&Guard::over(handle), bucket, key, value)
     }
 
     /// Removes `key`, returning its value. Must be called between `enter`
     /// and `leave`.
     pub fn remove<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
         let bucket = self.pinned_bucket(handle, self.bucket_index(key));
-        unsafe { list::remove(handle, bucket, key) }
+        list::remove(&Guard::over(handle), bucket, key)
     }
 }
 
@@ -171,10 +172,13 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
+        let mut g = Guard::over(&mut handle);
         for (index, bucket) in self.buckets.iter().enumerate() {
             // Pin per bucket so each shard deallocates its own nodes.
-            handle.pin_shard(index as u64);
-            unsafe { list::drop_all(&mut handle, bucket) };
+            g.pin_shard(index as u64);
+            // SAFETY: `Drop` has `&mut self` — exclusive access to every
+            // bucket list.
+            unsafe { list::drop_all(&g, bucket) };
         }
     }
 }

@@ -13,11 +13,21 @@
 //! * [`NatarajanMittalTree`] — the lock-free external BST \[29\]
 //!   (Figures 8d/9d).
 //! * [`TreiberStack`], [`MsQueue`] — classic stack/queue for examples.
+//! * [`SkipListMap`] — a lock-free skip list in the Harris/Herlihy–Shavit
+//!   style, with a two-phase retirement handshake between inserters and
+//!   removers.
+//! * [`BoundedMpmcQueue`] — a capacity-bounded MPMC queue composed from
+//!   [`MsQueue`] plus an atomic admission counter.
+//! * [`SnapshotCell`] — a read-mostly RCU-style cell: readers clone a
+//!   protected snapshot, writers swap in a fresh one and retire the old.
 //!
 //! Every structure takes the reclamation scheme as a type parameter
-//! implementing [`smr_core::Smr`]; all pointer dereferences go through
-//! [`smr_core::SmrHandle::protect`], so the robust schemes (HP, HE, IBR,
-//! Hyaline-S, Hyaline-1S) are safe. Operations must be bracketed by
+//! implementing [`smr_core::Smr`] and is written against the typed-pointer
+//! layer ([`smr_core::typed`]): loads return borrow-branded
+//! [`smr_core::typed::Shared`] pointers that route through the scheme's
+//! `protect`, so the robust schemes (HP, HE, IBR, Hyaline-S, Hyaline-1S)
+//! are safe and the only `unsafe` left in a structure is its
+//! retire/teardown argument. Operations must be bracketed by
 //! `enter`/`leave` on the handle — the paper's programming model
 //! (Figure 1a).
 //!
@@ -48,14 +58,20 @@ mod bonsai;
 mod hashmap;
 mod list;
 mod map_api;
+mod mpmc;
 mod nmtree;
 mod queue;
+mod skiplist;
+mod snapshot;
 mod stack;
 
 pub use bonsai::{BonsaiNode, BonsaiTree};
 pub use hashmap::{MichaelHashMap, DEFAULT_BUCKETS};
 pub use list::{HarrisMichaelList, ListNode};
 pub use map_api::ConcurrentMap;
+pub use mpmc::BoundedMpmcQueue;
 pub use nmtree::{NatarajanMittalTree, NmNode, TreeKey, NM_MIN_PROTECT};
 pub use queue::{MsQueue, QueueNode};
+pub use skiplist::{SkipListMap, SkipNode, SKIPLIST_MIN_PROTECT};
+pub use snapshot::SnapshotCell;
 pub use stack::{StackNode, TreiberStack};

@@ -8,10 +8,14 @@
 //! modification while basic Hyaline could also run Harris's original.
 //!
 //! The traversal core is shared with [`MichaelHashMap`](crate::MichaelHashMap),
-//! which is an array of these lists \[26\].
+//! which is an array of these lists \[26\]. It is written against the
+//! typed-pointer layer: `find` returns borrow-branded pointers (and a
+//! `&Atomic` window link whose owning node is protected by the rotation
+//! indices), so the only remaining `unsafe` is the retire argument at the
+//! two unlink sites and the exclusive teardown in `drop_all`.
 
-use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::Ordering;
+use smr_core::typed::{Atomic, Guard, Owned, Shared};
+use smr_core::{Smr, SmrConfig, SmrHandle};
 
 /// Mark bit on a node's `next` pointer: the node is logically deleted.
 const MARK: usize = 1;
@@ -51,66 +55,62 @@ impl<K, V> ListNode<K, V> {
 
 /// Result of the `find` traversal: the window `(prev, curr)` where `curr`
 /// is the first node with `key >= target` (or null).
-pub(crate) struct FindResult<K, V> {
+pub(crate) struct FindResult<'g, K, V> {
     pub(crate) found: bool,
-    /// Link holding `curr` (either the head or `prev`'s next field). The
-    /// node owning the link is protected by one of the rotation indices.
-    pub(crate) prev_link: *const Atomic<ListNode<K, V>>,
-    pub(crate) curr: Shared<ListNode<K, V>>,
+    /// Link holding `curr` (either the list head or `prev`'s next field).
+    /// The node owning the link is protected by one of the rotation
+    /// indices for as long as the guard borrow `'g` lasts, which is what
+    /// makes holding a real `&Atomic` into it sound.
+    pub(crate) prev_link: &'g Atomic<ListNode<K, V>>,
+    pub(crate) curr: Shared<'g, ListNode<K, V>>,
     /// `curr`'s successor at observation time (unmarked).
-    pub(crate) next: Shared<ListNode<K, V>>,
+    pub(crate) next: Shared<'g, ListNode<K, V>>,
 }
 
 /// Michael's `find`: positions the window, unlinking (and retiring) marked
-/// nodes on the way.
-///
-/// # Safety
-///
-/// `head` must outlive the call and be a list head whose nodes were
-/// allocated through `handle`'s domain. The caller must be inside an
-/// operation (`enter`).
-pub(crate) unsafe fn find<K, V, H>(
-    handle: &mut H,
-    head: &Atomic<ListNode<K, V>>,
+/// nodes on the way. The caller must be inside an operation (the guard's
+/// bracketing contract).
+pub(crate) fn find<'g, K, V, H>(
+    g: &'g Guard<'_, ListNode<K, V>, H>,
+    head: &'g Atomic<ListNode<K, V>>,
     key: &K,
-) -> FindResult<K, V>
+) -> FindResult<'g, K, V>
 where
     K: Ord,
     H: SmrHandle<ListNode<K, V>>,
 {
     'retry: loop {
-        let mut prev_link: *const Atomic<ListNode<K, V>> = head;
+        let mut prev_link = head;
         // Rotating protection indices for (prev-node, curr, next).
         let mut idx = [IDX_A, IDX_B, IDX_C];
-        let mut curr = handle.protect(idx[1], &*prev_link);
+        let mut curr = prev_link.load(idx[1], g);
         loop {
-            if curr.is_null() {
+            let Some(curr_ref) = curr.as_ref() else {
                 return FindResult {
                     found: false,
                     prev_link,
                     curr,
                     next: Shared::null(),
                 };
-            }
+            };
             debug_assert_eq!(curr.tag(), 0, "links always store untagged pointers");
-            let curr_ref = curr.deref();
-            let next = handle.protect(idx[2], &curr_ref.next);
+            let next = curr_ref.next.load(idx[2], g);
             // Validate the window: prev must still link to an unmarked curr
             // (Michael's re-check; also re-establishes that curr was not
             // unlinked while we protected next).
-            if (*prev_link).load(Ordering::Acquire) != curr {
+            if prev_link.fetch() != curr {
                 continue 'retry;
             }
             if next.tag() == MARK {
                 // curr is logically deleted: unlink it here and now.
                 let next_clean = next.untagged();
-                if (*prev_link)
-                    .compare_exchange(curr, next_clean, Ordering::AcqRel, Ordering::Acquire)
-                    .is_err()
-                {
+                if prev_link.compare_exchange(curr, next_clean).is_err() {
                     continue 'retry;
                 }
-                handle.retire(curr);
+                // SAFETY: the successful CAS removed `curr` from the list
+                // (it was already marked, so no insert can re-link it);
+                // only the unlink winner retires.
+                unsafe { g.defer_retire(curr) };
                 // next (protected by idx[2]) becomes curr.
                 idx.swap(1, 2);
                 curr = next_clean;
@@ -133,8 +133,8 @@ where
 }
 
 /// Looks `key` up, cloning its value.
-pub(crate) unsafe fn get<K, V, H>(
-    handle: &mut H,
+pub(crate) fn get<K, V, H>(
+    g: &Guard<'_, ListNode<K, V>, H>,
     head: &Atomic<ListNode<K, V>>,
     key: &K,
 ) -> Option<V>
@@ -143,13 +143,13 @@ where
     V: Clone,
     H: SmrHandle<ListNode<K, V>>,
 {
-    let r = find(handle, head, key);
+    let r = find(g, head, key);
     r.found.then(|| r.curr.deref().value.clone())
 }
 
 /// Inserts `key -> value`; fails if the key is present.
-pub(crate) unsafe fn insert<K, V, H>(
-    handle: &mut H,
+pub(crate) fn insert<K, V, H>(
+    g: &Guard<'_, ListNode<K, V>, H>,
     head: &Atomic<ListNode<K, V>>,
     key: K,
     value: V,
@@ -158,57 +158,51 @@ where
     K: Ord,
     H: SmrHandle<ListNode<K, V>>,
 {
-    let r = find(handle, head, &key);
+    let r = find(g, head, &key);
     if r.found {
         return false;
     }
-    let node = handle.alloc(ListNode {
+    let node = g.alloc(ListNode {
         key,
         value,
         next: Atomic::null(),
     });
-    insert_retry(handle, head, node, r)
+    insert_retry(g, head, node, r)
 }
 
 /// Continues an insert once the node exists (borrow-friendly split: `key`
 /// now lives inside the node).
-unsafe fn insert_retry<K, V, H>(
-    handle: &mut H,
-    head: &Atomic<ListNode<K, V>>,
-    node: Shared<ListNode<K, V>>,
-    first: FindResult<K, V>,
+fn insert_retry<'g, K, V, H>(
+    g: &'g Guard<'_, ListNode<K, V>, H>,
+    head: &'g Atomic<ListNode<K, V>>,
+    node: Owned<ListNode<K, V>>,
+    first: FindResult<'g, K, V>,
 ) -> bool
 where
     K: Ord,
     H: SmrHandle<ListNode<K, V>>,
 {
+    let mut node = node;
     let mut r = first;
     loop {
         if r.found {
-            handle.dealloc(node);
+            g.discard(node);
             return false;
         }
-        if try_link(node, &r) {
-            return true;
+        node.as_ref().next.store(r.curr);
+        match r.prev_link.compare_exchange_owned(r.curr, node) {
+            Ok(_) => return true,
+            Err((_, back)) => {
+                node = back;
+                r = find(g, head, &node.as_ref().key);
+            }
         }
-        r = find(handle, head, &node.deref().key);
     }
 }
 
-/// Single link attempt of a fresh, exclusively owned node.
-unsafe fn try_link<K, V>(node: Shared<ListNode<K, V>>, r: &FindResult<K, V>) -> bool
-where
-    K: Ord,
-{
-    node.deref().next.store(r.curr, Ordering::Relaxed);
-    (*r.prev_link)
-        .compare_exchange(r.curr, node, Ordering::AcqRel, Ordering::Acquire)
-        .is_ok()
-}
-
 /// Removes `key`, returning its value.
-pub(crate) unsafe fn remove<K, V, H>(
-    handle: &mut H,
+pub(crate) fn remove<K, V, H>(
+    g: &Guard<'_, ListNode<K, V>, H>,
     head: &Atomic<ListNode<K, V>>,
     key: &K,
 ) -> Option<V>
@@ -218,7 +212,7 @@ where
     H: SmrHandle<ListNode<K, V>>,
 {
     loop {
-        let r = find(handle, head, key);
+        let r = find(g, head, key);
         if !r.found {
             return None;
         }
@@ -226,12 +220,7 @@ where
         // Logically delete: mark curr's next. Only one remover wins.
         if curr_ref
             .next
-            .compare_exchange(
-                r.next,
-                r.next.with_tag(MARK),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
+            .compare_exchange(r.next, r.next.with_tag(MARK))
             .is_err()
         {
             // Either a racing remover marked it, or next changed: retry.
@@ -239,28 +228,37 @@ where
         }
         let value = curr_ref.value.clone();
         // Physical unlink; on failure some find() will do it (and retire).
-        if (*r.prev_link)
-            .compare_exchange(r.curr, r.next, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            handle.retire(r.curr);
+        if r.prev_link.compare_exchange(r.curr, r.next).is_ok() {
+            // SAFETY: we marked curr and won the unlink CAS — curr is out
+            // of the list, no insert can re-link a marked node, and the
+            // mark guarantees exactly one retirer (us).
+            unsafe { g.defer_retire(r.curr) };
         } else {
-            let _ = find(handle, head, key);
+            let _ = find(g, head, key);
         }
         return Some(value);
     }
 }
 
-/// Frees all nodes of a list given exclusive access (for `Drop`).
-pub(crate) unsafe fn drop_all<K, V, H>(handle: &mut H, head: &Atomic<ListNode<K, V>>)
-where
+/// Frees all nodes of a list.
+///
+/// # Safety
+///
+/// The caller must have exclusive access to the list (e.g. `Drop` with
+/// `&mut self`): nodes are walked and freed without protection.
+pub(crate) unsafe fn drop_all<K, V, H>(
+    g: &Guard<'_, ListNode<K, V>, H>,
+    head: &Atomic<ListNode<K, V>>,
+) where
     H: SmrHandle<ListNode<K, V>>,
 {
-    let mut curr = head.load(Ordering::Acquire);
-    head.store(Shared::null(), Ordering::Relaxed);
+    let mut curr = head.fetch();
+    head.store(smr_core::typed::Ptr::null());
     while !curr.is_null() {
-        let next = curr.deref().next.load(Ordering::Acquire);
-        handle.dealloc(curr.untagged());
+        // SAFETY: exclusive access per this function's contract.
+        let next = unsafe { curr.deref() }.next.fetch();
+        // SAFETY: same exclusive-teardown argument.
+        unsafe { g.dealloc(curr) };
         curr = next.untagged();
     }
 }
@@ -354,24 +352,24 @@ where
 
     /// Looks up `key`. Must be called between `enter` and `leave`.
     pub fn get<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
-        unsafe { get(handle, &self.head, key) }
+        get(&Guard::over(handle), &self.head, key)
     }
 
     /// Whether `key` is present. Must be called between `enter` and `leave`.
     pub fn contains<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> bool {
-        unsafe { find(handle, &self.head, key).found }
+        find(&Guard::over(handle), &self.head, key).found
     }
 
     /// Inserts `key -> value`; `false` if the key already exists. Must be
     /// called between `enter` and `leave`.
     pub fn insert<'a>(&'a self, handle: &mut S::Handle<'a>, key: K, value: V) -> bool {
-        unsafe { insert(handle, &self.head, key, value) }
+        insert(&Guard::over(handle), &self.head, key, value)
     }
 
     /// Removes `key`, returning its value. Must be called between `enter`
     /// and `leave`.
     pub fn remove<'a>(&'a self, handle: &mut S::Handle<'a>, key: &K) -> Option<V> {
-        unsafe { remove(handle, &self.head, key) }
+        remove(&Guard::over(handle), &self.head, key)
     }
 }
 
@@ -383,7 +381,8 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        unsafe { drop_all(&mut handle, &self.head) };
+        // SAFETY: `Drop` has `&mut self` — exclusive access to the list.
+        unsafe { drop_all(&Guard::over(&mut handle), &self.head) };
     }
 }
 

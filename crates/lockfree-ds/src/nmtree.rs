@@ -7,9 +7,15 @@
 //! edge over the frozen chain, unlinking the leaf, its parent, and any
 //! doomed nodes accumulated between them. Operations that stumble on
 //! marked edges help complete the pending deletion.
+//!
+//! Written against the typed-pointer layer (`smr_core::typed`). The
+//! remaining `unsafe` is confined to three arguments: promoting the
+//! immortal `R`/`S` sentinels to protected [`Shared`]s, the
+//! exclusively-owned chain walk after a successful `cleanup` swing, and
+//! the exclusive teardown in `Drop`.
 
-use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::Ordering;
+use smr_core::typed::{Atomic, Guard, Ptr, Shared};
+use smr_core::{Smr, SmrConfig};
 
 /// Edge bit: the leaf below this edge is being deleted (injection).
 const FLAG: usize = 1;
@@ -67,12 +73,12 @@ impl<K, V> NmNode<K, V> {
 
 /// The seek record: the deepest clean edge (`ancestor` → `successor`) above
 /// the doomed chain, the leaf's `parent`, and the `leaf` itself. Each field
-/// is protected at its namesake index.
-struct SeekRecord<K, V> {
-    ancestor: Shared<NmNode<K, V>>,
-    successor: Shared<NmNode<K, V>>,
-    parent: Shared<NmNode<K, V>>,
-    leaf: Shared<NmNode<K, V>>,
+/// is protected at its namesake index for the guard borrow `'g`.
+struct SeekRecord<'g, K, V> {
+    ancestor: Shared<'g, NmNode<K, V>>,
+    successor: Shared<'g, NmNode<K, V>>,
+    parent: Shared<'g, NmNode<K, V>>,
+    leaf: Shared<'g, NmNode<K, V>>,
 }
 
 /// The Natarajan–Mittal lock-free BST, generic over the reclamation scheme.
@@ -155,26 +161,32 @@ where
     /// configured [`smr_core::Sharded`] adapter).
     pub fn with_domain(domain: S) -> Self {
         let mut handle = domain.handle();
-        // R{Inf2}: left = S, right = leaf(Inf2); S{Inf1}: leaves Inf1/Inf2.
-        let s_l = handle.alloc(NmNode::leaf(TreeKey::Inf1, None));
-        let s_r = handle.alloc(NmNode::leaf(TreeKey::Inf2, None));
-        let s = handle.alloc(NmNode {
-            key: TreeKey::Inf1,
-            value: None,
-            left: Atomic::new(s_l),
-            right: Atomic::new(s_r),
-        });
-        let r_r = handle.alloc(NmNode::leaf(TreeKey::Inf2, None));
-        let r = handle.alloc(NmNode {
-            key: TreeKey::Inf2,
-            value: None,
-            left: Atomic::new(s),
-            right: Atomic::new(r_r),
-        });
+        let root = {
+            let g = Guard::over(&mut handle);
+            // R{Inf2}: left = S, right = leaf(Inf2); S{Inf1}: leaves Inf1/Inf2.
+            let s_l = g.alloc(NmNode::leaf(TreeKey::Inf1, None)).into_ptr();
+            let s_r = g.alloc(NmNode::leaf(TreeKey::Inf2, None)).into_ptr();
+            let s = g
+                .alloc(NmNode {
+                    key: TreeKey::Inf1,
+                    value: None,
+                    left: Atomic::new(s_l),
+                    right: Atomic::new(s_r),
+                })
+                .into_ptr();
+            let r_r = g.alloc(NmNode::leaf(TreeKey::Inf2, None)).into_ptr();
+            g.alloc(NmNode {
+                key: TreeKey::Inf2,
+                value: None,
+                left: Atomic::new(s),
+                right: Atomic::new(r_r),
+            })
+            .into_ptr()
+        };
         drop(handle);
         Self {
             domain,
-            root: Atomic::new(r),
+            root: Atomic::new(root),
         }
     }
 
@@ -226,43 +238,44 @@ where
     /// publish-then-validate protocol covers it.
     fn window_intact(
         key: &TreeKey<K>,
-        ancestor: Shared<NmNode<K, V>>,
-        successor: Shared<NmNode<K, V>>,
-        parent: Shared<NmNode<K, V>>,
-        parent_field: Shared<NmNode<K, V>>,
+        ancestor: Shared<'_, NmNode<K, V>>,
+        successor: Shared<'_, NmNode<K, V>>,
+        parent: Shared<'_, NmNode<K, V>>,
+        parent_field: Shared<'_, NmNode<K, V>>,
     ) -> bool {
-        // `parent` and `ancestor` are protected (or sentinels): deref is safe.
-        let parent_ref = unsafe { parent.deref() };
-        if Self::child_edge(parent_ref, key).load(Ordering::Acquire) != parent_field {
+        if Self::child_edge(parent.deref(), key).fetch() != parent_field {
             return false;
         }
-        let ancestor_ref = unsafe { ancestor.deref() };
-        Self::child_edge(ancestor_ref, key).load(Ordering::Acquire) == successor
+        Self::child_edge(ancestor.deref(), key).fetch() == successor
     }
 
     /// The paper's `seek`: descends to the leaf for `key`, tracking the
     /// deepest untagged edge as the (ancestor, successor) pair.
-    fn seek<'a>(&'a self, h: &mut S::Handle<'a>, key: &TreeKey<K>) -> SeekRecord<K, V> {
+    fn seek<'a, 'g>(
+        &'a self,
+        g: &'g Guard<'_, NmNode<K, V>, S::Handle<'a>>,
+        key: &TreeKey<K>,
+    ) -> SeekRecord<'g, K, V> {
         let validate = S::needs_seek_validation();
         'restart: loop {
-            let r = self.root.load(Ordering::Acquire);
-            // R and S are sentinels that are never unlinked: safe to read
-            // without per-index protection.
-            let r_ref = unsafe { r.deref() };
-            let s = r_ref.left.load(Ordering::Acquire).untagged();
-            let s_ref = unsafe { s.deref() };
+            // SAFETY: R and S are sentinels allocated in `with_domain` and
+            // never retired; they may be promoted to protected `Shared`s
+            // without holding a protection index.
+            let (r, s) = unsafe {
+                let r = self.root.fetch().as_shared(g);
+                let s = r.deref().left.fetch().untagged().as_shared(g);
+                (r, s)
+            };
 
             let mut ancestor = r;
             let mut successor = s;
             let mut parent = s;
             // The source of this protection (S) is immortal, so the
-            // publish-then-revalidate inside `protect` suffices on its own.
-            let mut parent_field = h.protect(I_LEAF, &s_ref.left);
+            // publish-then-revalidate inside the protected load suffices on
+            // its own.
+            let mut parent_field = s.deref().left.load(I_LEAF, g);
             let mut leaf = parent_field.untagged();
-            let mut current_field = {
-                let leaf_ref = unsafe { leaf.deref() };
-                h.protect(I_CUR, Self::child_edge(leaf_ref, key))
-            };
+            let mut current_field = Self::child_edge(leaf.deref(), key).load(I_CUR, g);
             if validate && !Self::window_intact(key, ancestor, successor, parent, parent_field) {
                 continue 'restart;
             }
@@ -273,18 +286,17 @@ where
                 }
                 if parent_field.tag() & TAG == 0 {
                     // The edge into `leaf` is clean: deepest clean point so far.
-                    h.copy_protection(I_PAR, I_ANC);
+                    g.copy_protection(I_PAR, I_ANC);
                     ancestor = parent;
-                    h.copy_protection(I_LEAF, I_SUC);
+                    g.copy_protection(I_LEAF, I_SUC);
                     successor = leaf;
                 }
-                h.copy_protection(I_LEAF, I_PAR);
+                g.copy_protection(I_LEAF, I_PAR);
                 parent = leaf;
-                h.copy_protection(I_CUR, I_LEAF);
+                g.copy_protection(I_CUR, I_LEAF);
                 leaf = current;
                 parent_field = current_field;
-                let leaf_ref = unsafe { leaf.deref() };
-                current_field = h.protect(I_CUR, Self::child_edge(leaf_ref, key));
+                current_field = Self::child_edge(leaf.deref(), key).load(I_CUR, g);
                 if validate
                     && !Self::window_intact(key, ancestor, successor, parent, parent_field)
                 {
@@ -303,13 +315,16 @@ where
     /// The paper's `cleanup`: freezes the survivor edge and swings the
     /// ancestor edge over the doomed chain. Returns whether this call
     /// performed the unlink (and the retirement).
-    fn cleanup<'a>(&'a self, h: &mut S::Handle<'a>, key: &TreeKey<K>, sr: &SeekRecord<K, V>) -> bool {
-        let ancestor_ref = unsafe { sr.ancestor.deref() };
-        let parent_ref = unsafe { sr.parent.deref() };
-
+    fn cleanup<'a>(
+        &'a self,
+        g: &Guard<'_, NmNode<K, V>, S::Handle<'a>>,
+        key: &TreeKey<K>,
+        sr: &SeekRecord<'_, K, V>,
+    ) -> bool {
+        let parent_ref = sr.parent.deref();
         let path_edge = Self::child_edge(parent_ref, key);
         let other_edge = Self::sibling_edge(parent_ref, key);
-        let path_val = path_edge.load(Ordering::Acquire);
+        let path_val = path_edge.fetch();
         // The flagged edge leads to the leaf being removed; the other child
         // survives. When helping, the flag may sit on either side.
         let (survivor_edge, flagged_edge) = if path_val.tag() & FLAG != 0 {
@@ -319,104 +334,107 @@ where
         };
         // Freeze the survivor edge so its target cannot change underneath
         // the swing below.
-        survivor_edge.fetch_or_tag(TAG, Ordering::AcqRel);
-        let survivor = survivor_edge.load(Ordering::Acquire);
+        survivor_edge.fetch_or_tag(TAG);
+        let survivor = survivor_edge.fetch();
         // The survivor keeps its own FLAG (it may itself be a doomed leaf).
         let new_val = survivor.untagged().with_tag(survivor.tag() & FLAG);
 
-        let anc_edge = Self::child_edge(ancestor_ref, key);
-        if anc_edge
-            .compare_exchange(
-                sr.successor,
-                new_val,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_err()
-        {
+        let anc_edge = Self::child_edge(sr.ancestor.deref(), key);
+        if anc_edge.compare_exchange(sr.successor, new_val).is_err() {
             return false;
         }
 
-        // We unlinked the chain successor ..= parent plus every flagged leaf
-        // hanging off it; nothing else can reach or retire those nodes now.
+        // SAFETY: the successful ancestor CAS unlinked the chain
+        // `successor ..= parent` plus every flagged leaf hanging off it;
+        // nothing else can reach, retire or free those nodes now, so the
+        // walk may dereference them and this thread alone retires each one.
         unsafe {
-            let mut cur = sr.successor;
+            let mut cur = Ptr::from(sr.successor);
             while cur != sr.parent {
                 let cur_ref = cur.deref();
                 // Interior chain nodes are doomed: path child frozen by TAG,
                 // other child a flagged leaf completing some pending delete.
-                let doomed_leaf = Self::sibling_edge(cur_ref, key).load(Ordering::Acquire);
+                let doomed_leaf = Self::sibling_edge(cur_ref, key).fetch();
                 debug_assert!(!doomed_leaf.is_null());
-                h.retire(doomed_leaf.untagged());
-                let next = Self::child_edge(cur_ref, key).load(Ordering::Acquire);
-                h.retire(cur);
+                g.defer_retire(doomed_leaf);
+                let next = Self::child_edge(cur_ref, key).fetch();
+                g.defer_retire(cur);
                 cur = next.untagged();
             }
-            let removed_leaf = flagged_edge.load(Ordering::Acquire);
+            let removed_leaf = flagged_edge.fetch();
             debug_assert!(!removed_leaf.is_null());
-            h.retire(removed_leaf.untagged());
-            h.retire(sr.parent);
+            g.defer_retire(removed_leaf);
+            g.defer_retire(sr.parent);
         }
         true
     }
 
     /// Looks up `key`. Must be called between `enter` and `leave`.
     pub fn get<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        let g = Guard::over(h);
         let key = TreeKey::Fin(key.clone());
-        let sr = self.seek(h, &key);
-        let leaf_ref = unsafe { sr.leaf.deref() };
+        let sr = self.seek(&g, &key);
+        let leaf_ref = sr.leaf.deref();
         (leaf_ref.key == key).then(|| leaf_ref.value.clone().expect("leaves carry values"))
     }
 
     /// Whether `key` is present. Must be called between `enter` and `leave`.
     pub fn contains<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> bool {
+        let g = Guard::over(h);
         let key = TreeKey::Fin(key.clone());
-        let sr = self.seek(h, &key);
-        unsafe { sr.leaf.deref() }.key == key
+        self.seek(&g, &key).leaf.deref().key == key
     }
 
     /// Inserts `key -> value`; `false` if present. Must be called between
     /// `enter` and `leave`.
     pub fn insert<'a>(&'a self, h: &mut S::Handle<'a>, key: K, value: V) -> bool {
+        let g = Guard::over(h);
         let tkey = TreeKey::Fin(key);
-        let mut new_leaf = Shared::null();
+        // The new leaf survives CAS-failure rounds until it is published.
+        let mut new_leaf = None;
         loop {
-            let sr = self.seek(h, &tkey);
-            let leaf_ref = unsafe { sr.leaf.deref() };
+            let sr = self.seek(&g, &tkey);
+            let leaf_ref = sr.leaf.deref();
             if leaf_ref.key == tkey {
-                if !new_leaf.is_null() {
-                    unsafe { h.dealloc(new_leaf) };
+                if let Some(unpublished) = new_leaf.take() {
+                    g.discard(unpublished);
                 }
                 return false;
             }
-            if new_leaf.is_null() {
-                let TreeKey::Fin(k) = &tkey else { unreachable!() };
-                new_leaf = h.alloc(NmNode::leaf(TreeKey::Fin(k.clone()), Some(value.clone())));
-            }
+            let leaf_ptr = new_leaf
+                .get_or_insert_with(|| {
+                    let TreeKey::Fin(k) = &tkey else { unreachable!() };
+                    g.alloc(NmNode::leaf(TreeKey::Fin(k.clone()), Some(value.clone())))
+                })
+                .ptr();
             // Build the replacement internal node: its key is the larger of
             // the two leaf keys; smaller key goes left.
             let (left, right, ikey) = if tkey < leaf_ref.key {
-                (new_leaf, sr.leaf, leaf_ref.key.clone())
+                (leaf_ptr, Ptr::from(sr.leaf), leaf_ref.key.clone())
             } else {
-                (sr.leaf, new_leaf, tkey.clone())
+                (Ptr::from(sr.leaf), leaf_ptr, tkey.clone())
             };
-            let internal = h.alloc(NmNode {
+            let internal = g.alloc(NmNode {
                 key: ikey,
                 value: None,
                 left: Atomic::new(left),
                 right: Atomic::new(right),
             });
-            let parent_ref = unsafe { sr.parent.deref() };
-            let edge = Self::child_edge(parent_ref, &tkey);
-            match edge.compare_exchange(sr.leaf, internal, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return true,
-                Err(seen) => {
+            let edge = Self::child_edge(sr.parent.deref(), &tkey);
+            match edge.compare_exchange_owned(sr.leaf, internal) {
+                Ok(_) => {
+                    // The new leaf is now reachable as a child of the
+                    // published internal node: ownership moved into the tree.
+                    new_leaf.take().map(smr_core::typed::Owned::into_ptr);
+                    return true;
+                }
+                Err((seen, unpublished)) => {
                     // The internal node was never published; the leaf is
                     // reused on the next attempt.
-                    unsafe { h.dealloc(internal) };
+                    g.discard(unpublished);
                     if seen.untagged() == sr.leaf && seen.tag() != 0 {
                         // Our target leaf is under deletion: help finish.
-                        self.cleanup(h, &tkey, &sr);
+                        self.cleanup(&g, &tkey, &sr);
                     }
                 }
             }
@@ -426,50 +444,45 @@ where
     /// Removes `key`, returning its value. Must be called between `enter`
     /// and `leave`.
     pub fn remove<'a>(&'a self, h: &mut S::Handle<'a>, key: &K) -> Option<V> {
+        let g = Guard::over(h);
         let tkey = TreeKey::Fin(key.clone());
         // Injection mode: flag the edge to the target leaf.
         let (value, mut target) = loop {
-            let sr = self.seek(h, &tkey);
-            let leaf_ref = unsafe { sr.leaf.deref() };
+            let sr = self.seek(&g, &tkey);
+            let leaf_ref = sr.leaf.deref();
             if leaf_ref.key != tkey {
                 return None;
             }
-            let parent_ref = unsafe { sr.parent.deref() };
-            let edge = Self::child_edge(parent_ref, &tkey);
-            match edge.compare_exchange(
-                sr.leaf,
-                sr.leaf.with_tag(FLAG),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
+            let edge = Self::child_edge(sr.parent.deref(), &tkey);
+            match edge.compare_exchange(sr.leaf, sr.leaf.with_tag(FLAG)) {
+                Ok(()) => {
                     // We own the logical deletion (linearization point).
                     let value = leaf_ref.value.clone().expect("leaves carry values");
-                    if self.cleanup(h, &tkey, &sr) {
+                    if self.cleanup(&g, &tkey, &sr) {
                         return Some(value);
                     }
-                    break (value, sr.leaf);
+                    break (value, Ptr::from(sr.leaf));
                 }
                 Err(seen) => {
                     if seen.untagged() == sr.leaf && seen.tag() != 0 {
                         // Another operation marked this leaf: help, retry.
-                        self.cleanup(h, &tkey, &sr);
+                        self.cleanup(&g, &tkey, &sr);
                     }
                 }
             }
         };
         // Cleanup mode: keep seeking until our flagged leaf is gone.
         loop {
-            let sr = self.seek(h, &tkey);
-            if sr.leaf != target {
+            let sr = self.seek(&g, &tkey);
+            if target != sr.leaf {
                 // Someone else performed the unlink for us.
                 return Some(value);
             }
-            if self.cleanup(h, &tkey, &sr) {
+            if self.cleanup(&g, &tkey, &sr) {
                 return Some(value);
             }
             // Re-read the (possibly relocated) flagged leaf each round.
-            target = sr.leaf;
+            target = Ptr::from(sr.leaf);
         }
     }
 }
@@ -482,15 +495,19 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        let mut stack = vec![self.root.load(Ordering::Acquire).untagged()];
+        let g = Guard::over(&mut handle);
+        let mut stack = vec![self.root.fetch().untagged()];
         while let Some(node) = stack.pop() {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `Drop` has `&mut self` — no concurrent access; the
+            // whole tree is exclusively ours to walk and free.
             let node_ref = unsafe { node.deref() };
-            stack.push(node_ref.left.load(Ordering::Acquire).untagged());
-            stack.push(node_ref.right.load(Ordering::Acquire).untagged());
-            unsafe { handle.dealloc(node) };
+            stack.push(node_ref.left.fetch().untagged());
+            stack.push(node_ref.right.fetch().untagged());
+            // SAFETY: same exclusive-teardown argument.
+            unsafe { g.dealloc(node) };
         }
     }
 }
@@ -500,6 +517,8 @@ mod tests {
     use super::*;
     use hyaline::{Hyaline, Hyaline1, Hyaline1S, HyalineS};
     use smr_baselines::{Ebr, He, Hp, Ibr, Leaky};
+    use smr_core::SmrHandle;
+    use std::sync::atomic::Ordering;
 
     fn cfg() -> SmrConfig {
         SmrConfig {

@@ -1,10 +1,13 @@
 //! A Michael–Scott queue, generic over the reclamation scheme.
 //!
 //! Not part of the paper's figures; used by the examples (per-client work
-//! queues in the server scenario) and the integration tests.
+//! queues in the server scenario), the integration tests, and as the inner
+//! queue of the bounded [`crate::BoundedMpmcQueue`]. Written against the
+//! typed-pointer layer: the remaining `unsafe` is the sentinel-retire
+//! argument in `dequeue` and the exclusive teardown in `Drop`.
 
-use smr_core::{Atomic, Shared, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::Ordering;
+use smr_core::typed::{Atomic, Guard, Ptr};
+use smr_core::{Smr, SmrConfig};
 
 /// A queue node: the sentinel head carries `None`.
 pub struct QueueNode<T> {
@@ -90,10 +93,14 @@ where
     /// configured [`smr_core::Sharded`] adapter).
     pub fn with_domain(domain: S) -> Self {
         let mut handle = domain.handle();
-        let sentinel = handle.alloc(QueueNode {
-            value: None,
-            next: Atomic::null(),
-        });
+        let sentinel = {
+            let g = Guard::over(&mut handle);
+            g.alloc(QueueNode {
+                value: None,
+                next: Atomic::null(),
+            })
+            .into_ptr()
+        };
         drop(handle);
         Self {
             domain,
@@ -114,58 +121,44 @@ where
 
     /// Appends a value. Must be called between `enter` and `leave`.
     pub fn enqueue<'a>(&'a self, h: &mut S::Handle<'a>, value: T) {
-        let node = h.alloc(QueueNode {
+        let g = Guard::over(h);
+        let mut node = g.alloc(QueueNode {
             value: Some(value),
             next: Atomic::null(),
         });
         loop {
-            let tail = h.protect(0, &self.tail);
-            let tail_ref = unsafe { tail.deref() };
-            let next = tail_ref.next.load(Ordering::Acquire);
+            let tail = self.tail.load(0, &g);
+            let tail_ref = tail.deref();
+            let next = tail_ref.next.fetch();
             if !next.is_null() {
                 // Help the lagging tail along.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
+                let _ = self.tail.compare_exchange(tail, next);
                 continue;
             }
-            if tail_ref
-                .next
-                .compare_exchange(Shared::null(), node, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    node,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
-                return;
+            match tail_ref.next.compare_exchange_owned(Ptr::null(), node) {
+                Ok(published) => {
+                    let _ = self.tail.compare_exchange(tail, published);
+                    return;
+                }
+                Err((_, back)) => node = back,
             }
         }
     }
 
     /// Removes the oldest value. Must be called between `enter` and `leave`.
     pub fn dequeue<'a>(&'a self, h: &mut S::Handle<'a>) -> Option<T> {
+        let g = Guard::over(h);
         loop {
-            let head = h.protect(0, &self.head);
-            let head_ref = unsafe { head.deref() };
-            let next = h.protect(1, &head_ref.next);
+            let head = self.head.load(0, &g);
+            let head_ref = head.deref();
+            let next = head_ref.next.load(1, &g);
             if next.is_null() {
                 return None;
             }
-            let tail = self.tail.load(Ordering::Acquire);
-            if head == tail {
+            let tail = self.tail.fetch();
+            if tail == head {
                 // Tail lags behind: help.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
+                let _ = self.tail.compare_exchange(tail, next);
                 continue;
             }
             // Michael's re-validation (step D07 of the original algorithm):
@@ -174,30 +167,58 @@ where
             // protection of `next` alone cannot detect that `next` itself
             // was already dequeued and retired — dereferencing it below
             // would be a use after free under HP/HE.
-            if self.head.load(Ordering::Acquire) != head {
+            if self.head.fetch() != head {
                 continue;
             }
             // Read the value before the CAS: `next` becomes the new
             // sentinel and may be popped (and retired) immediately after.
-            let value = unsafe { next.deref() }
+            let value = next
+                .deref()
                 .value
                 .clone()
                 .expect("non-sentinel nodes carry values");
-            if self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                unsafe { h.retire(head) };
+            if self.head.compare_exchange(head, next).is_ok() {
+                // SAFETY: the successful CAS displaced `head` as the
+                // sentinel; only the winning dequeuer reaches this retire,
+                // and the queue never links back to an old sentinel.
+                unsafe { g.defer_retire(head) };
                 return Some(value);
             }
         }
     }
 
-    /// Whether the queue appears empty right now.
-    pub fn is_empty(&self) -> bool {
-        let head = self.head.load(Ordering::Acquire);
-        unsafe { head.deref() }.next.load(Ordering::Acquire).is_null()
+    /// Reads (clones) the oldest value without removing it. Must be called
+    /// between `enter` and `leave`.
+    pub fn peek<'a>(&'a self, h: &mut S::Handle<'a>) -> Option<T> {
+        let g = Guard::over(h);
+        loop {
+            let head = self.head.load(0, &g);
+            let head_ref = head.deref();
+            let next = head_ref.next.load(1, &g);
+            if next.is_null() {
+                return None;
+            }
+            // Same D07-style re-validation as `dequeue`: without it,
+            // `next` could be a long-retired node read off a frozen
+            // sentinel under the per-access-protection schemes.
+            if self.head.fetch() != head {
+                continue;
+            }
+            return Some(
+                next.deref()
+                    .value
+                    .clone()
+                    .expect("non-sentinel nodes carry values"),
+            );
+        }
+    }
+
+    /// Whether the queue appears empty right now. Must be called between
+    /// `enter` and `leave` (the check walks through the live sentinel).
+    pub fn is_empty<'a>(&'a self, h: &mut S::Handle<'a>) -> bool {
+        let g = Guard::over(h);
+        let head = self.head.load(0, &g);
+        head.deref().next.fetch().is_null()
     }
 }
 
@@ -208,10 +229,14 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        let mut curr = self.head.load(Ordering::Acquire);
+        let g = Guard::over(&mut handle);
+        let mut curr = self.head.fetch();
         while !curr.is_null() {
-            let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
-            unsafe { handle.dealloc(curr) };
+            // SAFETY: `Drop` has `&mut self` — no concurrent access; the
+            // remaining chain is exclusively ours to walk and free.
+            let next = unsafe { curr.deref() }.next.fetch();
+            // SAFETY: same exclusive-teardown argument.
+            unsafe { g.dealloc(curr) };
             curr = next;
         }
     }
@@ -222,6 +247,8 @@ mod tests {
     use super::*;
     use hyaline::{Hyaline, Hyaline1S};
     use smr_baselines::{Ebr, Hp};
+    use smr_core::SmrHandle;
+    use std::sync::atomic::Ordering;
 
     fn cfg() -> SmrConfig {
         SmrConfig {
@@ -238,13 +265,17 @@ mod tests {
         let mut h = q.smr_handle();
         h.enter();
         assert_eq!(q.dequeue(&mut h), None);
+        assert!(q.is_empty(&mut h));
         for i in 0..10 {
             q.enqueue(&mut h, i);
         }
+        assert_eq!(q.peek(&mut h), Some(0));
         for i in 0..10 {
+            assert_eq!(q.peek(&mut h), Some(i));
             assert_eq!(q.dequeue(&mut h), Some(i));
         }
         assert_eq!(q.dequeue(&mut h), None);
+        assert_eq!(q.peek(&mut h), None);
         h.leave();
     }
 
@@ -291,6 +322,9 @@ mod tests {
         });
         let expect: u64 = (0..2 * PER_THREAD).sum();
         assert_eq!(sum.load(Ordering::Relaxed), expect);
-        assert!(q.is_empty());
+        let mut h = q.smr_handle();
+        h.enter();
+        assert!(q.is_empty(&mut h));
+        h.leave();
     }
 }

@@ -1,10 +1,13 @@
 //! A Treiber stack, generic over the reclamation scheme.
 //!
 //! Not part of the paper's figures; used by the examples, integration tests
-//! and micro-benchmarks as the smallest realistic SMR client.
+//! and micro-benchmarks as the smallest realistic SMR client. Written
+//! against the typed-pointer layer (`smr_core::typed`), it is also the
+//! README's "writing a structure" walk-through: the only `unsafe` left is
+//! the retire-safety argument in `pop`.
 
-use smr_core::{Atomic, Smr, SmrConfig, SmrHandle};
-use std::sync::atomic::Ordering;
+use smr_core::typed::{Atomic, Guard, Ptr};
+use smr_core::{Smr, SmrConfig};
 
 /// A stack node.
 pub struct StackNode<T> {
@@ -106,20 +109,20 @@ where
 
     /// Pushes a value. Must be called between `enter` and `leave`.
     pub fn push<'a>(&'a self, h: &mut S::Handle<'a>, value: T) {
-        let node = h.alloc(StackNode {
+        let g = Guard::over(h);
+        let mut node = g.alloc(StackNode {
             value,
             next: Atomic::null(),
         });
-        let node_ref = unsafe { node.deref() };
-        let mut top = self.top.load(Ordering::Acquire);
+        let mut top = self.top.fetch();
         loop {
-            node_ref.next.store(top, Ordering::Relaxed);
-            match self
-                .top
-                .compare_exchange_weak(top, node, Ordering::AcqRel, Ordering::Acquire)
-            {
+            node.as_ref().next.store(top);
+            match self.top.compare_exchange_weak_owned(top, node) {
                 Ok(_) => return,
-                Err(now) => top = now,
+                Err((now, back)) => {
+                    top = now;
+                    node = back;
+                }
             }
         }
     }
@@ -127,20 +130,17 @@ where
     /// Pops the most recent value. Must be called between `enter` and
     /// `leave`.
     pub fn pop<'a>(&'a self, h: &mut S::Handle<'a>) -> Option<T> {
+        let g = Guard::over(h);
         loop {
-            let top = h.protect(0, &self.top);
-            if top.is_null() {
-                return None;
-            }
-            let top_ref = unsafe { top.deref() };
-            let next = top_ref.next.load(Ordering::Acquire);
-            if self
-                .top
-                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            let top = self.top.load(0, &g);
+            let top_ref = top.as_ref()?;
+            let next = top_ref.next.fetch();
+            if self.top.compare_exchange(top, next).is_ok() {
                 let value = top_ref.value.clone();
-                unsafe { h.retire(top) };
+                // SAFETY: the successful CAS unlinked `top`; only the
+                // winning popper reaches this retire, and pushes only ever
+                // link fresh nodes, so no new reference to it can form.
+                unsafe { g.defer_retire(top) };
                 return Some(value);
             }
         }
@@ -148,7 +148,7 @@ where
 
     /// Whether the stack is currently empty.
     pub fn is_empty(&self) -> bool {
-        self.top.load(Ordering::Acquire).is_null()
+        self.top.fetch().is_null()
     }
 }
 
@@ -159,10 +159,14 @@ where
 {
     fn drop(&mut self) {
         let mut handle = self.domain.handle();
-        let mut curr = self.top.load(Ordering::Acquire);
+        let g = Guard::over(&mut handle);
+        let mut curr = self.top.fetch();
         while !curr.is_null() {
-            let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
-            unsafe { handle.dealloc(curr) };
+            // SAFETY: `Drop` has `&mut self` — no concurrent access; every
+            // remaining node is exclusively ours to walk and free.
+            let next: Ptr<_> = unsafe { curr.deref() }.next.fetch();
+            // SAFETY: same exclusive-teardown argument.
+            unsafe { g.dealloc(curr) };
             curr = next;
         }
     }
@@ -173,6 +177,8 @@ mod tests {
     use super::*;
     use hyaline::{Hyaline, HyalineS};
     use smr_baselines::{Ebr, Hp, Lfrc};
+    use smr_core::SmrHandle;
+    use std::sync::atomic::Ordering;
 
     fn cfg() -> SmrConfig {
         SmrConfig {

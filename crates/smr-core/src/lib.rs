@@ -69,6 +69,7 @@ mod shared;
 mod sharded;
 mod smr;
 mod stats;
+pub mod typed;
 
 pub use config::{ShardRouting, SmrConfig};
 pub use era::EraClock;

@@ -257,3 +257,240 @@ fn smoke_sharded_hyaline_by_pointer() {
     registry.assert_quiescent();
     assert_eq!(registry.created(), THREADS as u64 * OPS_PER_THREAD);
 }
+
+// ---------------------------------------------------------------------------
+// Typed-layer structures: the same all-scheme matrix, but driven through the
+// three structures built purely on `smr_core::typed` (skip list, bounded
+// MPMC queue, snapshot cell). Exact drop balance catches a structure that
+// leaks nodes, double-retires, or retires something still reachable.
+// ---------------------------------------------------------------------------
+
+use lockfree_ds::{BoundedMpmcQueue, SkipListMap, SnapshotCell};
+
+const STRUCT_OPS: u64 = 300;
+const STRUCT_TOTAL: u64 = THREADS as u64 * STRUCT_OPS;
+
+/// Disjoint per-thread key ranges make the counts exact: every insert
+/// succeeds (one tracked payload moved into a node) and every remove
+/// succeeds (one tracked clone handed back out and dropped here).
+fn skiplist_churn<S: Smr<lockfree_ds::SkipNode<u64, Tracked<u64>>>>(
+    config: SmrConfig,
+) -> DropRegistry {
+    let registry = DropRegistry::new();
+    {
+        let map: SkipListMap<u64, Tracked<u64>, S> = SkipListMap::with_config(config);
+        let (reg, map) = (&registry, &map);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                scope.spawn(move || {
+                    let mut h = map.smr_handle();
+                    let base = t * 10_000;
+                    for i in 0..STRUCT_OPS {
+                        h.enter();
+                        assert!(map.insert(&mut h, base + i, reg.track(base + i)));
+                        h.leave();
+                    }
+                    for i in 0..STRUCT_OPS {
+                        h.enter();
+                        let v = map.remove(&mut h, &(base + i)).expect("own key present");
+                        assert_eq!(*v, base + i, "value under wrong key");
+                        h.leave();
+                    }
+                    h.flush();
+                });
+            }
+        });
+    } // Map drop frees whatever retirement had not reclaimed yet.
+    registry
+}
+
+/// Each thread enqueues one payload then drains one, so the queue ends
+/// empty: every payload was cloned out by a dequeue exactly once.
+fn mpmc_churn<S: Smr<lockfree_ds::QueueNode<Tracked<u64>>>>(config: SmrConfig) -> DropRegistry {
+    let registry = DropRegistry::new();
+    {
+        let queue: BoundedMpmcQueue<Tracked<u64>, S> =
+            BoundedMpmcQueue::with_config(config, 16);
+        let (reg, queue) = (&registry, &queue);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                scope.spawn(move || {
+                    let mut h = queue.smr_handle();
+                    for i in 0..STRUCT_OPS {
+                        let mut value = reg.track(t * STRUCT_OPS + i);
+                        loop {
+                            h.enter();
+                            let r = queue.try_enqueue(&mut h, value);
+                            h.leave();
+                            match r {
+                                Ok(()) => break,
+                                Err(v) => value = v,
+                            }
+                            std::thread::yield_now();
+                        }
+                        loop {
+                            h.enter();
+                            let got = queue.dequeue(&mut h);
+                            h.leave();
+                            if got.is_some() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    h.flush();
+                });
+            }
+        });
+        assert!(queue.is_empty(), "every enqueue was matched by a dequeue");
+    }
+    registry
+}
+
+/// Store-churn on the snapshot cell: every store displaces (and retires)
+/// exactly one snapshot; only the final one survives to the cell's drop.
+fn snapshot_churn<S: Smr<Tracked<u64>>>(config: SmrConfig) -> DropRegistry {
+    let registry = DropRegistry::new();
+    {
+        let cell: SnapshotCell<Tracked<u64>, S> =
+            SnapshotCell::with_config(config, registry.track(u64::MAX));
+        let (reg, cell) = (&registry, &cell);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                scope.spawn(move || {
+                    let mut h = cell.smr_handle();
+                    for i in 0..STRUCT_OPS {
+                        h.enter();
+                        cell.store(&mut h, reg.track(t * STRUCT_OPS + i));
+                        // Observe without cloning: `with` borrows in place.
+                        let seen = cell.with(&mut h, |v| **v);
+                        assert!(seen == u64::MAX || seen < STRUCT_TOTAL);
+                        h.leave();
+                    }
+                    h.flush();
+                });
+            }
+        });
+    } // Cell drop frees the final snapshot.
+    registry
+}
+
+/// Reclaiming schemes × typed structures: exact drop balance plus the
+/// structure-specific payload count.
+macro_rules! typed_structure_smoke {
+    ($($test:ident => $churn:ident, $scheme:ty, $created:expr),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            let registry = $churn::<$scheme>(cfg());
+            registry.assert_quiescent();
+            assert_eq!(registry.created(), $created, "payload count mismatch");
+        }
+    )+};
+}
+
+typed_structure_smoke! {
+    // Skip list: one payload per insert + one clone per remove.
+    skiplist_smoke_hyaline => skiplist_churn, hyaline::Hyaline<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_hyaline1 => skiplist_churn, hyaline::Hyaline1<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_hyaline_s => skiplist_churn, hyaline::HyalineS<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_hyaline1_s => skiplist_churn, hyaline::Hyaline1S<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_ebr => skiplist_churn, smr_baselines::Ebr<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_hp => skiplist_churn, smr_baselines::Hp<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_he => skiplist_churn, smr_baselines::He<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_ibr => skiplist_churn, smr_baselines::Ibr<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_lfrc => skiplist_churn, smr_baselines::Lfrc<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_crystalline_l => skiplist_churn, crystalline::CrystallineL<_>, 2 * STRUCT_TOTAL,
+    skiplist_smoke_crystalline_w => skiplist_churn, crystalline::CrystallineW<_>, 2 * STRUCT_TOTAL,
+    // MPMC queue: one payload per enqueue + one clone per dequeue.
+    mpmc_smoke_hyaline => mpmc_churn, hyaline::Hyaline<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_hyaline1 => mpmc_churn, hyaline::Hyaline1<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_hyaline_s => mpmc_churn, hyaline::HyalineS<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_hyaline1_s => mpmc_churn, hyaline::Hyaline1S<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_ebr => mpmc_churn, smr_baselines::Ebr<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_hp => mpmc_churn, smr_baselines::Hp<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_he => mpmc_churn, smr_baselines::He<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_ibr => mpmc_churn, smr_baselines::Ibr<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_lfrc => mpmc_churn, smr_baselines::Lfrc<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_crystalline_l => mpmc_churn, crystalline::CrystallineL<_>, 2 * STRUCT_TOTAL,
+    mpmc_smoke_crystalline_w => mpmc_churn, crystalline::CrystallineW<_>, 2 * STRUCT_TOTAL,
+    // Snapshot cell: one payload per store + the initial snapshot.
+    snapshot_smoke_hyaline => snapshot_churn, hyaline::Hyaline<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_hyaline1 => snapshot_churn, hyaline::Hyaline1<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_hyaline_s => snapshot_churn, hyaline::HyalineS<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_hyaline1_s => snapshot_churn, hyaline::Hyaline1S<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_ebr => snapshot_churn, smr_baselines::Ebr<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_hp => snapshot_churn, smr_baselines::Hp<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_he => snapshot_churn, smr_baselines::He<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_ibr => snapshot_churn, smr_baselines::Ibr<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_lfrc => snapshot_churn, smr_baselines::Lfrc<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_crystalline_l => snapshot_churn, crystalline::CrystallineL<_>, STRUCT_TOTAL + 1,
+    snapshot_smoke_crystalline_w => snapshot_churn, crystalline::CrystallineW<_>, STRUCT_TOTAL + 1,
+}
+
+/// Crystalline-L with every retire forced through the handoff cell, per
+/// structure: the wait-free path must preserve exact balance under real
+/// structure traffic, not just the raw churn above.
+#[test]
+fn skiplist_smoke_crystalline_l_forced_handoff() {
+    let registry = skiplist_churn::<crystalline::CrystallineL<_>>(SmrConfig {
+        handoff_attempts: 0,
+        ..cfg()
+    });
+    registry.assert_quiescent();
+    assert_eq!(registry.created(), 2 * STRUCT_TOTAL);
+}
+
+#[test]
+fn mpmc_smoke_crystalline_l_forced_handoff() {
+    let registry = mpmc_churn::<crystalline::CrystallineL<_>>(SmrConfig {
+        handoff_attempts: 0,
+        ..cfg()
+    });
+    registry.assert_quiescent();
+    assert_eq!(registry.created(), 2 * STRUCT_TOTAL);
+}
+
+#[test]
+fn snapshot_smoke_crystalline_l_forced_handoff() {
+    let registry = snapshot_churn::<crystalline::CrystallineL<_>>(SmrConfig {
+        handoff_attempts: 0,
+        ..cfg()
+    });
+    registry.assert_quiescent();
+    assert_eq!(registry.created(), STRUCT_TOTAL + 1);
+}
+
+/// `Leaky` complements: nothing a structure retires is ever freed, so the
+/// survivors are exactly the payloads that went *into* nodes — only clones
+/// handed back out (and payloads freed by direct teardown `dealloc`, which
+/// bypasses retirement) ever drop.
+#[test]
+fn skiplist_smoke_leaky() {
+    let registry = skiplist_churn::<smr_baselines::Leaky<_>>(cfg());
+    // Removed nodes leak, so every inserted payload stays live; the
+    // remove-clones dropped in the churn are the only drops.
+    assert_eq!(registry.created(), 2 * STRUCT_TOTAL);
+    assert_eq!(registry.dropped(), STRUCT_TOTAL);
+    assert_eq!(registry.live(), STRUCT_TOTAL as i64);
+}
+
+#[test]
+fn mpmc_smoke_leaky() {
+    let registry = mpmc_churn::<smr_baselines::Leaky<_>>(cfg());
+    // Dequeue clones drop in the churn; dequeued nodes leak with their
+    // payloads except the last one, which survives as the queue's sentinel
+    // and is freed by the queue's own teardown.
+    assert_eq!(registry.created(), 2 * STRUCT_TOTAL);
+    assert_eq!(registry.dropped(), STRUCT_TOTAL + 1);
+    assert_eq!(registry.live(), STRUCT_TOTAL as i64 - 1);
+}
+
+#[test]
+fn snapshot_smoke_leaky() {
+    let registry = snapshot_churn::<smr_baselines::Leaky<_>>(cfg());
+    // Every displaced snapshot leaks; only the final one is freed by the
+    // cell's teardown.
+    assert_eq!(registry.created(), STRUCT_TOTAL + 1);
+    assert_eq!(registry.dropped(), 1);
+    assert_eq!(registry.live(), STRUCT_TOTAL as i64);
+}

@@ -63,7 +63,10 @@ fn queue_churn<S: Smr<QueueNode<Arc<Canary>>>>() {
         }
     });
     assert_eq!(consumed.load(Ordering::Relaxed), 2 * PER_PRODUCER);
-    assert!(q.is_empty());
+    let mut h = q.smr_handle();
+    h.enter();
+    assert!(q.is_empty(&mut h));
+    h.leave();
 }
 
 fn stack_churn<S: Smr<StackNode<Arc<Canary>>>>() {
