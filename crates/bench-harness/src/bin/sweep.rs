@@ -47,6 +47,10 @@ enum Sweep {
     /// schemes hold the high-water mark flat; the others grow it for the
     /// whole run.
     StalledReader,
+    /// Node recycling on vs off: the same write-intensive churn with node
+    /// memory drawn from the layout-keyed recycle pool and from the global
+    /// allocator, on the structures whose operations allocate per update.
+    Recycle,
 }
 
 impl Sweep {
@@ -58,6 +62,7 @@ impl Sweep {
             "handle-churn" => Some(Self::HandleChurn),
             "kv-service" => Some(Self::KvService),
             "stalled-reader" => Some(Self::StalledReader),
+            "recycle" => Some(Self::Recycle),
             _ => None,
         }
     }
@@ -67,7 +72,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("sweep: error: {msg}");
     eprintln!(
         "usage: sweep [--out FILE] \
-         [--sweeps thread-scaling,oversubscription,robustness,handle-churn,kv-service,stalled-reader] \
+         [--sweeps thread-scaling,oversubscription,robustness,handle-churn,kv-service,stalled-reader,recycle] \
          [--structures hashmap,... | all] [--schemes Hyaline,Sharded-Hyaline,...] \
          [--mix write-intensive|read-mostly] \
          [bench scale flags: --secs --trials --threads --slots --shards \
@@ -232,6 +237,9 @@ fn main() {
             Sweep::StalledReader => {
                 run_stalled_reader_sweep(&scale.base, &mut sink);
             }
+            Sweep::Recycle => {
+                run_recycle_sweep(&scale.base, &mut sink);
+            }
             Sweep::Robustness => {
                 let active = cores.max(2);
                 let max_stalled = scale.stalled.iter().copied().max().unwrap_or(8);
@@ -310,6 +318,72 @@ fn run_stalled_reader_sweep(base: &BenchParams, sink: &mut ResultSink) {
                 "{:>14} {:>8} {:>10.3} {:>12} {:>12} {:>12}",
                 scheme, stalled, result.mops, result.peak_unreclaimed, result.retired, result.freed
             );
+        }
+    }
+    println!();
+}
+
+/// The node-recycling headline comparison: Hyaline, Epoch and
+/// Crystalline-L driving write-intensive churn on the Michael hash map and
+/// the skip list, each combination measured twice — node memory from the
+/// global allocator (`recycle=off`, the historical behaviour) and from the
+/// layout-keyed recycle pool (`recycle=on`). Every point appends a
+/// `figure="recycle"` record; the on/off points key separately in the perf
+/// gate (the combo key carries `recycle`), so a committed baseline pins
+/// both sides of the comparison.
+///
+/// The mix is fixed write-intensive — recycling exists for update churn;
+/// a read-mostly run would barely touch the pool — and the hit rate column
+/// is `pool_hits / (pool_hits + pool_misses)`, the fraction of allocations
+/// the pool actually served while enabled.
+fn run_recycle_sweep(base: &BenchParams, sink: &mut ResultSink) {
+    const SCHEMES: &[&str] = &["Hyaline", "Epoch", "Crystalline-L"];
+    const STRUCTURES_SWEPT: &[&str] = &["hashmap", "skiplist"];
+    println!(
+        "== recycle: pooled vs malloc node memory, {} thread(s), \
+         write-intensive ==\n",
+        base.threads
+    );
+    println!(
+        "{:>14} {:>9} {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "scheme", "structure", "recycle", "Mops/s", "recycled", "pool-hits", "hit-rate"
+    );
+    for &structure in STRUCTURES_SWEPT {
+        for &scheme in SCHEMES {
+            for recycle in [false, true] {
+                let mut params = base.clone();
+                params.mix = OpMix::WriteIntensive;
+                params.config.recycle = recycle;
+                if recycle {
+                    // Deferred schemes (Hyaline batches, epoch scans) free in
+                    // bursts; the pool must absorb a whole burst or it evicts
+                    // most of it and the next alloc run misses. Size capacity
+                    // for the churn volume and widen magazines so the spill/
+                    // refill block transfer amortises the shared-list CAS.
+                    params.config.recycle_capacity = 1 << 17;
+                    params.config.recycle_magazine = 256;
+                }
+                let Some(result) = run_combo(scheme, structure, &params) else {
+                    continue;
+                };
+                sink.record("recycle", scheme, structure, &params, &result);
+                let attempts = result.pool_hits + result.pool_misses;
+                let hit_rate = if attempts == 0 {
+                    0.0
+                } else {
+                    100.0 * result.pool_hits as f64 / attempts as f64
+                };
+                println!(
+                    "{:>14} {:>9} {:>8} {:>10.3} {:>12} {:>12} {:>8.1}%",
+                    scheme,
+                    structure,
+                    if recycle { "on" } else { "off" },
+                    result.mops,
+                    result.recycled,
+                    result.pool_hits,
+                    hit_rate
+                );
+            }
         }
     }
     println!();

@@ -100,6 +100,13 @@ pub struct RunResult {
     pub retired: u64,
     /// Nodes freed during the measured phase.
     pub freed: u64,
+    /// Allocations served from the recycle pool (zero when recycling off).
+    pub pool_hits: u64,
+    /// Allocations that fell through to the global allocator while
+    /// recycling was enabled (zero when recycling off).
+    pub pool_misses: u64,
+    /// Reclaimed nodes routed back to the recycle pool (zero when off).
+    pub recycled: u64,
 }
 
 /// Runs the workload against a `(structure, scheme)` pair.
@@ -117,6 +124,9 @@ where
         acc.ops += r.ops;
         acc.retired += r.retired;
         acc.freed += r.freed;
+        acc.pool_hits += r.pool_hits;
+        acc.pool_misses += r.pool_misses;
+        acc.recycled += r.recycled;
     }
     let n = params.trials.max(1) as f64;
     acc.mops /= n;
@@ -358,6 +368,9 @@ where
         ops: total_ops,
         retired: stats.retired(),
         freed: stats.freed(),
+        pool_hits: stats.pool_hits(),
+        pool_misses: stats.pool_misses(),
+        recycled: stats.recycled(),
     }
 }
 

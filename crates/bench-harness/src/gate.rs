@@ -99,6 +99,12 @@ pub struct ComboKey {
     pub routing: String,
     /// Crystalline handoff threshold (pre-schema-4 lines decode as 8).
     pub handoff_attempts: u64,
+    /// Node recycling enabled (pre-schema-5 lines decode as false).
+    pub recycle: bool,
+    /// Recycle-pool capacity as configured.
+    pub recycle_capacity: u64,
+    /// Recycle-magazine capacity as configured.
+    pub recycle_magazine: u64,
     /// Simulated connections (0 = thread-driven run).
     pub connections: u64,
 }
@@ -130,6 +136,9 @@ impl ComboKey {
             handle_churn: r.handle_churn,
             routing: r.routing.clone(),
             handoff_attempts: r.handoff_attempts,
+            recycle: r.recycle,
+            recycle_capacity: r.recycle_capacity,
+            recycle_magazine: r.recycle_magazine,
             connections: r.connections,
         }
     }
@@ -161,6 +170,9 @@ impl fmt::Display for ComboKey {
         }
         if self.handoff_attempts != 8 {
             write!(f, " handoff={}", self.handoff_attempts)?;
+        }
+        if self.recycle {
+            write!(f, " recycle")?;
         }
         write!(
             f,
@@ -545,6 +557,21 @@ mod tests {
         assert!(!report.has_regression());
         let line = ComboKey::of(&sharded).to_string();
         assert!(line.contains("shards=4"), "{line}");
+    }
+
+    #[test]
+    fn recycling_configs_key_separately() {
+        // A pooled (recycle on) run of the same scheme must not be averaged
+        // with or compared against the malloc configuration.
+        let malloc = record("Hyaline", 4, 10.0, 0.0);
+        let mut pooled = record("Hyaline", 4, 13.0, 0.0);
+        pooled.recycle = true;
+        let file = vec![malloc, pooled.clone()];
+        let report = compare(&file, &file, Tolerance::default());
+        assert_eq!(report.comparisons.len(), 2);
+        assert!(!report.has_regression());
+        let line = ComboKey::of(&pooled).to_string();
+        assert!(line.contains(" recycle"), "{line}");
     }
 
     #[test]

@@ -30,8 +30,12 @@ use crate::driver::{BenchParams, RunResult};
 /// with `connections = 0`, i.e. "not a connection-driven run". Version 4
 /// added `handoff_attempts` (the Crystalline wait-free handoff threshold);
 /// earlier lines decode with the config default of `8`, which is what every
-/// pre-Crystalline run implicitly carried.
-pub const SCHEMA_VERSION: u64 = 4;
+/// pre-Crystalline run implicitly carried. Version 5 added the node-recycling
+/// knobs (`recycle`, `recycle_capacity`, `recycle_magazine`) and pool metrics
+/// (`pool_hits`, `pool_misses`, `recycled`); earlier lines decode with
+/// recycling off (`recycle = false`, the knob defaults of `8192`/`64`, zero
+/// pool counters) — exactly what every pre-recycling run measured.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One benchmark measurement with full configuration provenance.
 ///
@@ -101,6 +105,13 @@ pub struct BenchRecord {
     /// per slot before retiring through the handoff cell; other schemes
     /// ignore the knob, recorded verbatim).
     pub handoff_attempts: u64,
+    /// Node recycling enabled ([`smr_core::SmrConfig::recycle`]).
+    pub recycle: bool,
+    /// Recycle-pool capacity as configured (recorded verbatim; meaningless
+    /// when `recycle` is false).
+    pub recycle_capacity: u64,
+    /// Recycle-magazine capacity as configured (recorded verbatim).
+    pub recycle_magazine: u64,
     /// Simulated connections of an async-service run (`0` = the run was
     /// thread-driven, not connection-driven).
     pub connections: u64,
@@ -120,6 +131,13 @@ pub struct BenchRecord {
     pub retired: u64,
     /// Nodes freed during the measured phase.
     pub freed: u64,
+    /// Allocations served from the recycle pool (zero when recycling off).
+    pub pool_hits: u64,
+    /// Allocations that fell through to the global allocator while
+    /// recycling was enabled (zero when recycling off).
+    pub pool_misses: u64,
+    /// Reclaimed nodes routed back to the recycle pool (zero when off).
+    pub recycled: u64,
 }
 
 /// Host/build provenance shared by every record of one process run.
@@ -203,6 +221,9 @@ impl BenchRecord {
             handle_churn: params.handle_churn,
             routing: params.config.routing.short_label().to_string(),
             handoff_attempts: params.config.handoff_attempts as u64,
+            recycle: params.config.recycle,
+            recycle_capacity: params.config.recycle_capacity as u64,
+            recycle_magazine: params.config.recycle_magazine as u64,
             connections: params.connections,
             git_sha: prov.git_sha.clone(),
             host_cores: prov.host_cores,
@@ -212,6 +233,9 @@ impl BenchRecord {
             ops: result.ops,
             retired: result.retired,
             freed: result.freed,
+            pool_hits: result.pool_hits,
+            pool_misses: result.pool_misses,
+            recycled: result.recycled,
         }
     }
 
@@ -246,6 +270,9 @@ impl BenchRecord {
         push_u64(&mut s, "handle_churn", self.handle_churn);
         push_str(&mut s, "routing", &self.routing);
         push_u64(&mut s, "handoff_attempts", self.handoff_attempts);
+        push_bool(&mut s, "recycle", self.recycle);
+        push_u64(&mut s, "recycle_capacity", self.recycle_capacity);
+        push_u64(&mut s, "recycle_magazine", self.recycle_magazine);
         push_u64(&mut s, "connections", self.connections);
         match &self.git_sha {
             Some(sha) => push_str(&mut s, "git_sha", sha),
@@ -258,6 +285,9 @@ impl BenchRecord {
         push_u64(&mut s, "ops", self.ops);
         push_u64(&mut s, "retired", self.retired);
         push_u64(&mut s, "freed", self.freed);
+        push_u64(&mut s, "pool_hits", self.pool_hits);
+        push_u64(&mut s, "pool_misses", self.pool_misses);
+        push_u64(&mut s, "recycled", self.recycled);
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -294,6 +324,10 @@ impl BenchRecord {
             Ok(v) => v.as_str(name),
             Err(_) => Ok(default.to_string()),
         };
+        let get_bool_or = |name: &str, default: bool| match get(name) {
+            Ok(v) => v.as_bool(name),
+            Err(_) => Ok(default),
+        };
         let git_sha = match get("git_sha")? {
             Json::Null => None,
             v => Some(v.as_str("git_sha")?),
@@ -326,6 +360,9 @@ impl BenchRecord {
             handle_churn: get_u64_or("handle_churn", 0)?,
             routing: get_str_or("routing", "by-key")?,
             handoff_attempts: get_u64_or("handoff_attempts", 8)?,
+            recycle: get_bool_or("recycle", false)?,
+            recycle_capacity: get_u64_or("recycle_capacity", 8192)?,
+            recycle_magazine: get_u64_or("recycle_magazine", 64)?,
             connections: get_u64_or("connections", 0)?,
             git_sha,
             host_cores: get_u64("host_cores")?,
@@ -335,6 +372,9 @@ impl BenchRecord {
             ops: get_u64("ops")?,
             retired: get_u64("retired")?,
             freed: get_u64("freed")?,
+            pool_hits: get_u64_or("pool_hits", 0)?,
+            pool_misses: get_u64_or("pool_misses", 0)?,
+            recycled: get_u64_or("recycled", 0)?,
         })
     }
 }
@@ -825,6 +865,31 @@ mod tests {
         assert!(!line.contains("handoff_attempts"));
         let back = BenchRecord::decode(&line).expect("schema-3 line decodes");
         assert_eq!(back.handoff_attempts, 8);
+    }
+
+    #[test]
+    fn schema_four_lines_decode_with_recycling_off() {
+        // A record written before the recycling fields existed (the
+        // committed v4 baselines) must decode as a run with recycling off
+        // and the knob defaults — the configuration every pre-recycling
+        // run implicitly carried — and zero pool counters.
+        let mut line = sample_record().encode();
+        line = line
+            .replace("\"recycle\":false,", "")
+            .replace("\"recycle_capacity\":8192,", "")
+            .replace("\"recycle_magazine\":64,", "")
+            .replace("\"pool_hits\":0,", "")
+            .replace("\"pool_misses\":0,", "")
+            // `recycled` is the final field, so it carries no trailing comma.
+            .replace(",\"recycled\":0}", "}");
+        assert!(!line.contains("recycle"));
+        let back = BenchRecord::decode(&line).expect("schema-4 line decodes");
+        assert!(!back.recycle);
+        assert_eq!(back.recycle_capacity, 8192);
+        assert_eq!(back.recycle_magazine, 64);
+        assert_eq!(back.pool_hits, 0);
+        assert_eq!(back.pool_misses, 0);
+        assert_eq!(back.recycled, 0);
     }
 
     #[test]

@@ -79,6 +79,9 @@ proptest! {
             connections: counters.1 ^ more_ints.0,
             routing: if flags.0 { "by-key" } else { "by-pointer" }.to_string(),
             handoff_attempts: counters.2 ^ more_ints.1,
+            recycle: flags.0 ^ flags.1,
+            recycle_capacity: counters.3 ^ more_ints.2,
+            recycle_magazine: counters.0 ^ more_ints.3,
             git_sha: git_sha_some.then(|| string_from(git_sha)),
             host_cores: counters.3,
             timestamp: string_from(timestamp),
@@ -87,6 +90,9 @@ proptest! {
             ops: counters.0 ^ counters.1,
             retired: counters.1 ^ counters.2,
             freed: counters.2 ^ counters.3,
+            pool_hits: counters.3 ^ more_ints.0,
+            pool_misses: counters.0 ^ more_ints.1,
+            recycled: counters.1 ^ more_ints.2,
         };
         let line = record.encode();
         // JSONL invariant: exactly one line per record.

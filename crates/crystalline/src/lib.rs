@@ -69,12 +69,13 @@
 
 use crossbeam_utils::CachePadded;
 use hyaline::batch::{
-    adjust_refs, chain_next, decrement, free_batch, header, FinalizedBatch, LocalBatch, W_NEXT,
+    adjust_refs, chain_next, decrement, free_batch, free_batch_into, header, FinalizedBatch,
+    LocalBatch, W_NEXT,
 };
 use hyaline::head::{AtomicHead1, Head1Word, HeadWord};
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle, SmrNode,
-    SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, SlotRegistry, Smr, SmrConfig,
+    SmrHandle, SmrNode, SmrStats,
 };
 use std::marker::PhantomData;
 use std::ptr;
@@ -176,6 +177,7 @@ pub struct Crystalline<T: Send + 'static, const HELPING: bool> {
     /// auto-`Send`/`Sync`.
     orphans: Mutex<Vec<(usize, usize, usize)>>,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -247,6 +249,7 @@ impl<T: Send + 'static, const HELPING: bool> Smr<T> for Crystalline<T, HELPING> 
             handoff_attempts: config.handoff_attempts,
             orphans: Mutex::new(Vec::new()),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -263,6 +266,7 @@ impl<T: Send + 'static, const HELPING: bool> Smr<T> for Crystalline<T, HELPING> 
             local_stats: LocalStats::new(),
             alloc_counter: 0,
             access_cache: 0,
+            mag: self.pool.magazine(),
         }
     }
 
@@ -354,6 +358,7 @@ pub struct CrystallineHandle<'d, T: Send + 'static, const HELPING: bool> {
     reap: Vec<*mut SmrNode<T>>,
     adopted: Vec<Adopted<T>>,
     local_stats: LocalStats,
+    mag: Magazine,
     alloc_counter: u64,
     /// Lower bound on our slot's access era. Exact in Crystalline-L (the
     /// handle is the sole writer); in Crystalline-W helpers may have raised
@@ -580,10 +585,12 @@ impl<T: Send + 'static, const HELPING: bool> CrystallineHandle<'_, T, HELPING> {
         if self.batch.is_empty() {
             return;
         }
+        let domain = self.domain;
         while self.batch.count() < 2 {
-            // SAFETY: dummy nodes have no payload; the allocation is fresh.
-            let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
-            self.local_stats.on_alloc(&self.domain.stats);
+            // SAFETY: dummy nodes have no payload; the allocation is fresh
+            // (or freshly renewed by the recycle pool).
+            let dummy = unsafe { domain.pool.alloc_dummy::<T>(&mut self.mag, &domain.stats) };
+            self.local_stats.on_alloc(&domain.stats);
             self.local_stats.on_retire(&self.domain.stats);
             // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
@@ -601,12 +608,14 @@ impl<T: Send + 'static, const HELPING: bool> CrystallineHandle<'_, T, HELPING> {
             return;
         }
         let mut freed = 0;
+        let domain = self.domain;
+        let mag = &mut self.mag;
         for refs in std::mem::take(&mut self.reap) {
             // SAFETY: a REFS node enters `reap` only when its batch's NRef
             // crossed zero, so no thread can still reference the batch.
-            freed += unsafe { free_batch(refs) };
+            freed += unsafe { free_batch_into(refs, &domain.pool, mag, &domain.stats) };
         }
-        self.local_stats.on_free(&self.domain.stats, freed);
+        self.local_stats.on_free(&domain.stats, freed);
     }
 
     /// Crystalline-W slow-path protect: publish a request, let era
@@ -732,7 +741,7 @@ impl<T: Send + 'static, const HELPING: bool> SmrHandle<T> for CrystallineHandle<
             domain.era.advance();
         }
         self.local_stats.on_alloc(&domain.stats);
-        let node = SmrNode::alloc(value);
+        let node = domain.pool.alloc(&mut self.mag, &domain.stats, value);
         // SAFETY: `node` is a fresh, unshared allocation; stamping its birth
         // era in the header word races with nobody.
         unsafe {
@@ -747,8 +756,9 @@ impl<T: Send + 'static, const HELPING: bool> SmrHandle<T> for CrystallineHandle<
     // SAFETY: per the `SmrHandle::dealloc` contract the node was never
     // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
@@ -806,7 +816,9 @@ impl<T: Send + 'static, const HELPING: bool> SmrHandle<T> for CrystallineHandle<
     fn flush(&mut self) {
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -830,8 +842,10 @@ impl<T: Send + 'static, const HELPING: bool> Drop for CrystallineHandle<'_, T, H
                 orphans.push((idx, tag, refs as usize));
             }
         }
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

@@ -20,7 +20,7 @@
 //!   REFS node — the chain's tail — this word points back to the chain head
 //!   (`First` in the paper's `free_batch(Ref->First)`).
 
-use smr_core::{NodeHeader, SmrNode};
+use smr_core::{Magazine, NodeHeader, NodePool, SmrNode, SmrStats};
 use std::sync::atomic::Ordering;
 
 /// Header word holding the slot-list `Next` / birth era / `NRef`.
@@ -262,6 +262,43 @@ pub unsafe fn free_batch<T>(refs: *mut SmrNode<T>) -> u64 {
         cur = next;
     }
     SmrNode::dealloc(refs, refs_word & LIVE_BIT != 0);
+    freed + 1
+}
+
+/// [`free_batch`], but routing every node through the domain's recycle pool:
+/// payloads are dropped immediately (per the chain's live bits, exactly as
+/// `free_batch` would) while the node memory is handed to `pool`/`mag` for
+/// reuse by subsequent allocations. This is the hyaline-family half of the
+/// common `dispose` hook.
+///
+/// With recycling disabled the pool falls through to [`SmrNode::dealloc`],
+/// making this byte-for-byte equivalent to [`free_batch`].
+///
+/// # Safety
+///
+/// Same contract as [`free_batch`]: the batch's `NRef` must have crossed
+/// zero, so no thread can still reference any node of the batch. `mag` must
+/// belong to `pool`.
+pub unsafe fn free_batch_into<T>(
+    refs: *mut SmrNode<T>,
+    pool: &NodePool,
+    mag: &mut Magazine,
+    stats: &SmrStats,
+) -> u64 {
+    let refs_word = header(refs).word(W_CHAIN).load(Ordering::Acquire);
+    let mut cur = (refs_word & !LIVE_BIT) as *mut SmrNode<T>;
+    let mut freed = 0u64;
+    while cur != refs {
+        let w = header(cur).word(W_CHAIN).load(Ordering::Relaxed);
+        let next = (w & !LIVE_BIT) as *mut SmrNode<T>;
+        // SAFETY: the batch is exclusively ours (NRef crossed zero) and the
+        // live bit says whether this node's payload was ever initialized.
+        pool.dispose(mag, stats, cur, w & LIVE_BIT != 0);
+        freed += 1;
+        cur = next;
+    }
+    // SAFETY: as above, for the REFS node itself (the chain tail).
+    pool.dispose(mag, stats, refs, refs_word & LIVE_BIT != 0);
     freed + 1
 }
 

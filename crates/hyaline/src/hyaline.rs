@@ -2,14 +2,16 @@
 //! retirement lists, batched retirement, and `Adjs` wrap-around accounting.
 
 use crossbeam_utils::CachePadded;
-use smr_core::{Atomic, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats};
+use smr_core::{
+    Atomic, LocalStats, Magazine, NodePool, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats,
+};
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::batch::{
-    adjust_refs, adjust_slot_credit, chain_next, decrement, free_batch, header, FinalizedBatch,
-    LocalBatch, W_NEXT,
+    adjust_refs, adjust_slot_credit, chain_next, decrement, free_batch_into, header,
+    FinalizedBatch, LocalBatch, W_NEXT,
 };
 use crate::head::{AtomicHead, HeadWord};
 
@@ -56,6 +58,7 @@ pub struct Hyaline<T: Send + 'static> {
     batch_size: usize,
     next_slot: AtomicUsize,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -101,6 +104,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline<T> {
             slots,
             next_slot: AtomicUsize::new(0),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -115,6 +119,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline<T> {
             batch: LocalBatch::new(),
             reap: Vec::new(),
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -164,11 +169,13 @@ pub struct HyalineHandle<'d, T: Send + 'static> {
     batch: LocalBatch<T>,
     reap: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: the raw pointers are exclusively owned retired/reaped nodes (the
-// local batch and reap list) plus the last-seen slot head, all usable from
-// whichever thread drives the handle next; the domain borrow is `Sync`.
+// local batch, reap list, and recycle magazine) plus the last-seen slot
+// head, all usable from whichever thread drives the handle next; the domain
+// borrow is `Sync`.
 // Nothing is thread-affine, so a parked handle may move between tasks.
 unsafe impl<T: Send + 'static> Send for HyalineHandle<'_, T> {}
 
@@ -273,17 +280,19 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
         if self.batch.is_empty() {
             return;
         }
-        while self.batch.count() < self.domain.min_insert_size() {
-            // SAFETY: dummy nodes have no payload; the allocation is fresh.
-            let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
-            self.local_stats.on_alloc(&self.domain.stats);
-            self.local_stats.on_retire(&self.domain.stats);
+        let domain = self.domain;
+        while self.batch.count() < domain.min_insert_size() {
+            // SAFETY: dummy nodes have no payload; the pool hands out fresh
+            // or recycled exclusively-owned memory either way.
+            let dummy = unsafe { domain.pool.alloc_dummy::<T>(&mut self.mag, &domain.stats) };
+            self.local_stats.on_alloc(&domain.stats);
+            self.local_stats.on_retire(&domain.stats);
             // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
         // SAFETY: the loop above padded the batch to >= slots + 1 nodes, all
         // owned by this handle and unpublished.
-        let fin = unsafe { self.batch.finalize(self.domain.adjs) };
+        let fin = unsafe { self.batch.finalize(domain.adjs) };
         // SAFETY: `fin` is this handle's own freshly finalized batch.
         unsafe { self.insert_batch(fin) };
     }
@@ -294,13 +303,14 @@ impl<T: Send + 'static> HyalineHandle<'_, T> {
         if self.reap.is_empty() {
             return;
         }
+        let domain = self.domain;
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
             // SAFETY: a REFS node enters `reap` only when its batch's NRef
             // crossed zero, so no thread can still reference the batch.
-            freed += unsafe { free_batch(refs) };
+            freed += unsafe { free_batch_into(refs, &domain.pool, &mut self.mag, &domain.stats) };
         }
-        self.local_stats.on_free(&self.domain.stats, freed);
+        self.local_stats.on_free(&domain.stats, freed);
     }
 }
 
@@ -374,15 +384,17 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
     }
 
     fn alloc(&mut self, value: T) -> Shared<T> {
-        self.local_stats.on_alloc(&self.domain.stats);
-        Shared::from_node(SmrNode::alloc(value))
+        let domain = self.domain;
+        self.local_stats.on_alloc(&domain.stats);
+        Shared::from_node(domain.pool.alloc(&mut self.mag, &domain.stats, value))
     }
 
     // SAFETY: per the `SmrHandle::dealloc` contract the node was never
     // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
@@ -409,7 +421,11 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineHandle<'_, T> {
     fn flush(&mut self) {
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        // Spill the recycle magazine too, so a parked handle (`HandlePool`
+        // check-in flushes before parking) never strands pool capacity.
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -420,7 +436,9 @@ impl<T: Send + 'static> Drop for HyalineHandle<'_, T> {
         }
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -600,6 +618,38 @@ mod tests {
         });
         assert!(domain.stats().balanced());
         assert_eq!(domain.stats().allocated(), domain.stats().freed());
+    }
+
+    #[test]
+    fn recycling_reuses_memory_and_stays_balanced() {
+        let domain = &Hyaline::<u64>::with_config(SmrConfig {
+            slots: 2,
+            batch_min: 3,
+            recycle: true,
+            recycle_capacity: 1024,
+            recycle_magazine: 8,
+            ..SmrConfig::default()
+        });
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    let mut h = domain.handle();
+                    for i in 0..2_000u64 {
+                        h.enter();
+                        let node = h.alloc(t * 10_000 + i);
+                        // SAFETY: the node is thread-local until retired.
+                        unsafe { h.retire(node) };
+                        h.leave();
+                    }
+                });
+            }
+        });
+        // Logical accounting is untouched by recycling...
+        assert!(domain.stats().balanced());
+        assert_eq!(domain.stats().allocated(), domain.stats().freed());
+        // ...while the allocator fast path actually engaged.
+        assert!(domain.stats().recycled() > 0, "reclaim fed the pool");
+        assert!(domain.stats().pool_hits() > 0, "alloc drew from the pool");
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! wrap-around accounting.
 
 use crossbeam_utils::CachePadded;
-use smr_core::{Atomic, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats};
+use smr_core::{
+    Atomic, LocalStats, Magazine, NodePool, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats,
+};
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::Ordering;
 
 use crate::batch::{
-    adjust_refs, chain_next, decrement, free_batch, header, FinalizedBatch, LocalBatch, W_NEXT,
+    adjust_refs, chain_next, decrement, free_batch_into, header, FinalizedBatch, LocalBatch,
+    W_NEXT,
 };
 use crate::head::{AtomicHead1, Head1Word};
 use smr_core::SlotRegistry;
@@ -43,6 +46,7 @@ pub struct Hyaline1<T: Send + 'static> {
     registry: SlotRegistry,
     batch_min: usize,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -67,6 +71,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline1<T> {
             registry: SlotRegistry::new(capacity),
             batch_min: config.batch_min,
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -80,6 +85,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline1<T> {
             batch: LocalBatch::new(),
             reap: Vec::new(),
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -127,6 +133,7 @@ pub struct Hyaline1Handle<'d, T: Send + 'static> {
     batch: LocalBatch<T>,
     reap: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: owned raw node pointers (local batch, reap list, slot head
@@ -238,11 +245,13 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
         }
         // At least two nodes (REFS + one insertion candidate); the insert
         // loop extends on demand if more slots are active.
+        let domain = self.domain;
         while self.batch.count() < 2 {
-            // SAFETY: dummy nodes have no payload; the allocation is fresh.
-            let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
-            self.local_stats.on_alloc(&self.domain.stats);
-            self.local_stats.on_retire(&self.domain.stats);
+            // SAFETY: dummy nodes have no payload; the pool hands out fresh
+            // or recycled exclusively-owned memory either way.
+            let dummy = unsafe { domain.pool.alloc_dummy::<T>(&mut self.mag, &domain.stats) };
+            self.local_stats.on_alloc(&domain.stats);
+            self.local_stats.on_retire(&domain.stats);
             // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
@@ -256,13 +265,14 @@ impl<T: Send + 'static> Hyaline1Handle<'_, T> {
         if self.reap.is_empty() {
             return;
         }
+        let domain = self.domain;
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
             // SAFETY: a REFS node enters `reap` only when its batch's NRef
             // crossed zero, so no thread can still reference the batch.
-            freed += unsafe { free_batch(refs) };
+            freed += unsafe { free_batch_into(refs, &domain.pool, &mut self.mag, &domain.stats) };
         }
-        self.local_stats.on_free(&self.domain.stats, freed);
+        self.local_stats.on_free(&domain.stats, freed);
     }
 }
 
@@ -306,15 +316,17 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
     }
 
     fn alloc(&mut self, value: T) -> Shared<T> {
-        self.local_stats.on_alloc(&self.domain.stats);
-        Shared::from_node(SmrNode::alloc(value))
+        let domain = self.domain;
+        self.local_stats.on_alloc(&domain.stats);
+        Shared::from_node(domain.pool.alloc(&mut self.mag, &domain.stats, value))
     }
 
     // SAFETY: per the `SmrHandle::dealloc` contract the node was never
     // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
@@ -341,7 +353,9 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1Handle<'_, T> {
     fn flush(&mut self) {
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -352,8 +366,10 @@ impl<T: Send + 'static> Drop for Hyaline1Handle<'_, T> {
         }
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

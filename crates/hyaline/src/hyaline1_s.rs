@@ -8,14 +8,16 @@
 
 use crossbeam_utils::CachePadded;
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, Smr, SmrConfig, SmrHandle, SmrNode,
+    SmrStats,
 };
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::batch::{
-    adjust_refs, chain_next, decrement, free_batch, header, FinalizedBatch, LocalBatch, W_NEXT,
+    adjust_refs, chain_next, decrement, free_batch_into, header, FinalizedBatch, LocalBatch,
+    W_NEXT,
 };
 use crate::head::{AtomicHead1, Head1Word};
 use smr_core::SlotRegistry;
@@ -58,6 +60,7 @@ pub struct Hyaline1S<T: Send + 'static> {
     era_freq: u64,
     batch_min: usize,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -85,6 +88,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline1S<T> {
             era_freq: config.era_freq,
             batch_min: config.batch_min,
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -100,6 +104,7 @@ impl<T: Send + 'static> Smr<T> for Hyaline1S<T> {
             local_stats: LocalStats::new(),
             alloc_counter: 0,
             access_cache: 0,
+            mag: self.pool.magazine(),
         }
     }
 
@@ -151,6 +156,7 @@ pub struct Hyaline1SHandle<'d, T: Send + 'static> {
     /// Cached copy of our slot's access era — valid because this handle is
     /// the only writer ("Hyaline-1S: touch is an ordinary memory write").
     access_cache: u64,
+    mag: Magazine,
 }
 
 // SAFETY: owned raw node pointers (local batch, reap list, slot head
@@ -257,11 +263,13 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
         if self.batch.is_empty() {
             return;
         }
+        let domain = self.domain;
         while self.batch.count() < 2 {
-            // SAFETY: dummy nodes have no payload; the allocation is fresh.
-            let dummy = unsafe { SmrNode::<T>::alloc_dummy() };
-            self.local_stats.on_alloc(&self.domain.stats);
-            self.local_stats.on_retire(&self.domain.stats);
+            // SAFETY: dummy nodes have no payload; the pool hands out fresh
+            // or recycled exclusively-owned memory either way.
+            let dummy = unsafe { domain.pool.alloc_dummy::<T>(&mut self.mag, &domain.stats) };
+            self.local_stats.on_alloc(&domain.stats);
+            self.local_stats.on_retire(&domain.stats);
             // SAFETY: `dummy` is exclusively owned until pushed.
             unsafe { self.batch.push(dummy.as_ptr(), u64::MAX, false) };
         }
@@ -275,13 +283,14 @@ impl<T: Send + 'static> Hyaline1SHandle<'_, T> {
         if self.reap.is_empty() {
             return;
         }
+        let domain = self.domain;
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
             // SAFETY: a REFS node enters `reap` only when its batch's NRef
             // crossed zero, so no thread can still reference the batch.
-            freed += unsafe { free_batch(refs) };
+            freed += unsafe { free_batch_into(refs, &domain.pool, &mut self.mag, &domain.stats) };
         }
-        self.local_stats.on_free(&self.domain.stats, freed);
+        self.local_stats.on_free(&domain.stats, freed);
     }
 }
 
@@ -331,7 +340,7 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
             domain.era.advance();
         }
         self.local_stats.on_alloc(&domain.stats);
-        let node = SmrNode::alloc(value);
+        let node = domain.pool.alloc(&mut self.mag, &domain.stats, value);
         // SAFETY: `node` is a fresh, unshared allocation; stamping its birth
         // era in the header word races with nobody.
         unsafe {
@@ -346,8 +355,9 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
     // SAFETY: per the `SmrHandle::dealloc` contract the node was never
     // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
@@ -386,7 +396,9 @@ impl<T: Send + 'static> SmrHandle<T> for Hyaline1SHandle<'_, T> {
     fn flush(&mut self) {
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -397,8 +409,10 @@ impl<T: Send + 'static> Drop for Hyaline1SHandle<'_, T> {
         }
         self.finalize_partial();
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

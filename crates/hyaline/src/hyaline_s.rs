@@ -13,15 +13,16 @@
 //! slot directory when everything is saturated (if `adaptive` is enabled).
 
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, Smr, SmrConfig, SmrHandle, SmrNode,
+    SmrStats,
 };
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
 use crate::batch::{
-    adjust_refs, adjust_slot_credit, chain_next, decrement, free_batch, header, FinalizedBatch,
-    LocalBatch, W_NEXT,
+    adjust_refs, adjust_slot_credit, chain_next, decrement, free_batch_into, header,
+    FinalizedBatch, LocalBatch, W_NEXT,
 };
 use crate::hyaline::adjs_for;
 use crate::registry::{SlotDirectory, SlotS};
@@ -60,6 +61,7 @@ pub struct HyalineS<T: Send + 'static> {
     ack_threshold: i64,
     next_slot: AtomicUsize,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -123,6 +125,7 @@ impl<T: Send + 'static> Smr<T> for HyalineS<T> {
             ack_threshold: config.ack_threshold,
             next_slot: AtomicUsize::new(0),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -138,6 +141,7 @@ impl<T: Send + 'static> Smr<T> for HyalineS<T> {
             reap: Vec::new(),
             local_stats: LocalStats::new(),
             alloc_counter: 0,
+            mag: self.pool.magazine(),
         }
     }
 
@@ -177,6 +181,7 @@ pub struct HyalineSHandle<'d, T: Send + 'static> {
     reap: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
     alloc_counter: u64,
+    mag: Magazine,
 }
 
 // SAFETY: owned raw node pointers (local batch, reap list, slot head
@@ -294,7 +299,7 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
         let domain = self.domain;
         let k = domain.dir.k();
         while self.batch.count() < k + 1 {
-            let dummy = SmrNode::<T>::alloc_dummy();
+            let dummy = domain.pool.alloc_dummy::<T>(&mut self.mag, &domain.stats);
             self.local_stats.on_alloc(&domain.stats);
             self.local_stats.on_retire(&domain.stats);
             self.batch.push(dummy.as_ptr(), u64::MAX, false);
@@ -308,13 +313,14 @@ impl<T: Send + 'static> HyalineSHandle<'_, T> {
         if self.reap.is_empty() {
             return;
         }
+        let domain = self.domain;
         let mut freed = 0;
         for refs in std::mem::take(&mut self.reap) {
             // SAFETY: a REFS node enters `reap` only when its batch's NRef
             // crossed zero, so no thread can still reference the batch.
-            freed += unsafe { free_batch(refs) };
+            freed += unsafe { free_batch_into(refs, &domain.pool, &mut self.mag, &domain.stats) };
         }
-        self.local_stats.on_free(&self.domain.stats, freed);
+        self.local_stats.on_free(&domain.stats, freed);
     }
 }
 
@@ -428,7 +434,7 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
             domain.era.advance();
         }
         self.local_stats.on_alloc(&domain.stats);
-        let node = SmrNode::alloc(value);
+        let node = domain.pool.alloc(&mut self.mag, &domain.stats, value);
         // SAFETY: `node` is a fresh, unshared allocation; stamping its birth
         // era in the header word races with nobody.
         unsafe {
@@ -443,8 +449,9 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
     // SAFETY: per the `SmrHandle::dealloc` contract the node was never
     // published, so this thread owns it outright and may free it in place.
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     /// Figure 5's `deref`: certify that this slot's access era matches the
@@ -487,7 +494,9 @@ impl<T: Send + 'static> SmrHandle<T> for HyalineSHandle<'_, T> {
             unsafe { self.finalize_and_insert() };
         }
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -501,7 +510,9 @@ impl<T: Send + 'static> Drop for HyalineSHandle<'_, T> {
             unsafe { self.finalize_and_insert() };
         }
         self.drain();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 

@@ -38,7 +38,12 @@
 //! batch handoff (occupancy-tagged cell entries, displacement, adoption)
 //! and the Crystalline-W era-certification helping, again with
 //! fault-injected variants (unconditional release, a forgotten handoff
-//! reference, certifying before touching) that must each be caught.
+//! reference, certifying before touching) that must each be caught. The
+//! [`recycle`] module explores the node-recycling free list of
+//! `smr_core::recycle` — magazine spills (`push_block`) racing refills
+//! (`take_all`) — whose safety rests on an ABA-freedom-by-construction
+//! argument, and demonstrates via a fault-injected Treiber *pop-one*
+//! mutant why that operation is deliberately absent from the pool.
 //!
 //! The exploration assumes **sequential consistency**: it interleaves atomic
 //! actions but does not model weaker memory orderings. The production crates
@@ -67,6 +72,7 @@ pub mod llsc;
 pub mod model;
 pub mod pool;
 pub mod reclaimer;
+pub mod recycle;
 pub mod scenarios;
 
 pub use crystalline::{CrystalFault, CrystalOutcome, CrystalScenario, CrystalViolation};
@@ -75,3 +81,4 @@ pub use llsc::{LlscFault, LlscOutcome, LlscScenario, LlscViolation};
 pub use model::{HyalineModel, ModelConfig, ThreadProgram, Variant};
 pub use pool::{PoolOp, PoolOutcome, PoolScenario, PoolViolation};
 pub use reclaimer::{ReclaimerFault, ReclaimerOutcome, ReclaimerScenario, ReclaimerViolation};
+pub use recycle::{RecycleOp, RecycleOutcome, RecycleScenario, RecycleViolation};

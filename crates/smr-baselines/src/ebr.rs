@@ -10,8 +10,8 @@
 
 use crossbeam_utils::CachePadded;
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle, SmrNode,
-    SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, SlotRegistry, Smr, SmrConfig,
+    SmrHandle, SmrNode, SmrStats,
 };
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -48,6 +48,7 @@ pub struct Ebr<T: Send + 'static> {
     scan_threshold: usize,
     orphans: OrphanList<T>,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -85,6 +86,7 @@ impl<T: Send + 'static> Smr<T> for Ebr<T> {
             scan_threshold: config.scan_threshold,
             orphans: OrphanList::new(),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -96,6 +98,7 @@ impl<T: Send + 'static> Smr<T> for Ebr<T> {
             limbo: Vec::new(),
             op_counter: 0,
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -141,6 +144,7 @@ pub struct EbrHandle<'d, T: Send + 'static> {
     limbo: Vec<*mut SmrNode<T>>,
     op_counter: u64,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: the limbo list holds exclusively owned retired nodes and the
@@ -175,11 +179,13 @@ impl<T: Send + 'static> EbrHandle<'_, T> {
         fence(Ordering::SeqCst);
         let min = self.domain.min_reservation();
         let mut freed = 0u64;
+        let domain = self.domain;
+        let mag = &mut self.mag;
         self.limbo.retain(|&node| {
             let retire_epoch =
                 unsafe { (*node).header() }.word(W_EPOCH).load(Ordering::Relaxed) as u64;
             if retire_epoch < min {
-                unsafe { SmrNode::dealloc(node, true) };
+                unsafe { domain.pool.dispose(mag, &domain.stats, node, true) };
                 freed += 1;
                 false
             } else {
@@ -209,13 +215,15 @@ impl<T: Send + 'static> SmrHandle<T> for EbrHandle<'_, T> {
     }
 
     fn alloc(&mut self, value: T) -> Shared<T> {
-        self.local_stats.on_alloc(&self.domain.stats);
-        Shared::from_node(SmrNode::alloc(value))
+        let domain = self.domain;
+        self.local_stats.on_alloc(&domain.stats);
+        Shared::from_node(domain.pool.alloc(&mut self.mag, &domain.stats, value))
     }
 
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     fn protect(&mut self, _idx: usize, src: &Atomic<T>) -> Shared<T> {
@@ -240,7 +248,9 @@ impl<T: Send + 'static> SmrHandle<T> for EbrHandle<'_, T> {
 
     fn flush(&mut self) {
         self.scan();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -253,8 +263,10 @@ impl<T: Send + 'static> Drop for EbrHandle<'_, T> {
             unsafe { self.domain.orphans.push_chain(head, tail) };
         }
         self.limbo.clear();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

@@ -9,8 +9,8 @@
 
 use crossbeam_utils::CachePadded;
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle, SmrNode,
-    SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, SlotRegistry, Smr, SmrConfig,
+    SmrHandle, SmrNode, SmrStats,
 };
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -62,6 +62,7 @@ pub struct He<T: Send + 'static> {
     scan_threshold: usize,
     orphans: OrphanList<T>,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -88,6 +89,7 @@ impl<T: Send + 'static> Smr<T> for He<T> {
             scan_threshold: config.scan_threshold,
             orphans: OrphanList::new(),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -99,6 +101,7 @@ impl<T: Send + 'static> Smr<T> for He<T> {
             limbo: Vec::new(),
             alloc_counter: 0,
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -142,6 +145,7 @@ pub struct HeHandle<'d, T: Send + 'static> {
     limbo: Vec<*mut SmrNode<T>>,
     alloc_counter: u64,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: the limbo list holds exclusively owned retired nodes and the
@@ -186,6 +190,8 @@ impl<T: Send + 'static> HeHandle<'_, T> {
         }
         eras.sort_unstable();
         let mut freed = 0u64;
+        let domain = self.domain;
+        let mag = &mut self.mag;
         self.limbo.retain(|&node| {
             let header = unsafe { (*node).header() };
             let birth = header.word(W_BIRTH).load(Ordering::Relaxed) as u64;
@@ -195,7 +201,7 @@ impl<T: Send + 'static> HeHandle<'_, T> {
             if i < eras.len() && eras[i] <= retire {
                 true
             } else {
-                unsafe { SmrNode::dealloc(node, true) };
+                unsafe { domain.pool.dispose(mag, &domain.stats, node, true) };
                 freed += 1;
                 false
             }
@@ -226,7 +232,7 @@ impl<T: Send + 'static> SmrHandle<T> for HeHandle<'_, T> {
             domain.era.advance();
         }
         self.local_stats.on_alloc(&domain.stats);
-        let node = SmrNode::alloc(value);
+        let node = domain.pool.alloc(&mut self.mag, &domain.stats, value);
         unsafe {
             (*node.as_ptr())
                 .header()
@@ -237,8 +243,9 @@ impl<T: Send + 'static> SmrHandle<T> for HeHandle<'_, T> {
     }
 
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     /// The HE read protocol: publish the current era in reservation `idx`,
@@ -287,7 +294,9 @@ impl<T: Send + 'static> SmrHandle<T> for HeHandle<'_, T> {
 
     fn flush(&mut self) {
         self.scan();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -299,8 +308,10 @@ impl<T: Send + 'static> Drop for HeHandle<'_, T> {
             unsafe { self.domain.orphans.push_chain(head, tail) };
         }
         self.limbo.clear();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

@@ -9,7 +9,8 @@
 
 use crossbeam_utils::CachePadded;
 use smr_core::{
-    Atomic, LocalStats, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle, SmrNode, SmrStats,
+    Atomic, LocalStats, Magazine, NodePool, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle,
+    SmrNode, SmrStats,
 };
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
@@ -56,6 +57,7 @@ pub struct Hp<T: Send + 'static> {
     scan_threshold: usize,
     orphans: OrphanList<T>,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -81,6 +83,7 @@ impl<T: Send + 'static> Smr<T> for Hp<T> {
             scan_threshold: config.scan_threshold,
             orphans: OrphanList::new(),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -91,6 +94,7 @@ impl<T: Send + 'static> Smr<T> for Hp<T> {
             domain: self,
             limbo: Vec::new(),
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -133,6 +137,7 @@ pub struct HpHandle<'d, T: Send + 'static> {
     slot: usize,
     limbo: Vec<*mut SmrNode<T>>,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: the limbo list holds exclusively owned retired nodes and the
@@ -177,11 +182,13 @@ impl<T: Send + 'static> HpHandle<'_, T> {
         }
         hazards.sort_unstable();
         let mut freed = 0u64;
+        let domain = self.domain;
+        let mag = &mut self.mag;
         self.limbo.retain(|&node| {
             if hazards.binary_search(&(node as usize)).is_ok() {
                 true
             } else {
-                unsafe { SmrNode::dealloc(node, true) };
+                unsafe { domain.pool.dispose(mag, &domain.stats, node, true) };
                 freed += 1;
                 false
             }
@@ -206,13 +213,15 @@ impl<T: Send + 'static> SmrHandle<T> for HpHandle<'_, T> {
     }
 
     fn alloc(&mut self, value: T) -> Shared<T> {
-        self.local_stats.on_alloc(&self.domain.stats);
-        Shared::from_node(SmrNode::alloc(value))
+        let domain = self.domain;
+        self.local_stats.on_alloc(&domain.stats);
+        Shared::from_node(domain.pool.alloc(&mut self.mag, &domain.stats, value))
     }
 
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     /// Publish-and-validate (the HP protocol): store the candidate address
@@ -254,7 +263,9 @@ impl<T: Send + 'static> SmrHandle<T> for HpHandle<'_, T> {
 
     fn flush(&mut self) {
         self.scan();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -266,8 +277,10 @@ impl<T: Send + 'static> Drop for HpHandle<'_, T> {
             unsafe { self.domain.orphans.push_chain(head, tail) };
         }
         self.limbo.clear();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

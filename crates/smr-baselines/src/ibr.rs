@@ -11,8 +11,8 @@
 
 use crossbeam_utils::CachePadded;
 use smr_core::{
-    Atomic, EraClock, LocalStats, Shared, SlotRegistry, Smr, SmrConfig, SmrHandle, SmrNode,
-    SmrStats,
+    Atomic, EraClock, LocalStats, Magazine, NodePool, Shared, SlotRegistry, Smr, SmrConfig,
+    SmrHandle, SmrNode, SmrStats,
 };
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -66,6 +66,7 @@ pub struct Ibr<T: Send + 'static> {
     scan_threshold: usize,
     orphans: OrphanList<T>,
     stats: SmrStats,
+    pool: NodePool,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -92,6 +93,7 @@ impl<T: Send + 'static> Smr<T> for Ibr<T> {
             scan_threshold: config.scan_threshold,
             orphans: OrphanList::new(),
             stats: SmrStats::new(),
+            pool: NodePool::for_node::<T>(&config),
             _marker: PhantomData,
         }
     }
@@ -104,6 +106,7 @@ impl<T: Send + 'static> Smr<T> for Ibr<T> {
             alloc_counter: 0,
             upper_cache: INACTIVE,
             local_stats: LocalStats::new(),
+            mag: self.pool.magazine(),
         }
     }
 
@@ -143,6 +146,7 @@ pub struct IbrHandle<'d, T: Send + 'static> {
     /// Local copy of our published `upper` (sole writer).
     upper_cache: u64,
     local_stats: LocalStats,
+    mag: Magazine,
 }
 
 // SAFETY: the limbo list holds exclusively owned retired nodes, the slot
@@ -186,6 +190,8 @@ impl<T: Send + 'static> IbrHandle<'_, T> {
             }
         }
         let mut freed = 0u64;
+        let domain = self.domain;
+        let mag = &mut self.mag;
         self.limbo.retain(|&node| {
             let header = unsafe { (*node).header() };
             let birth = header.word(W_BIRTH).load(Ordering::Relaxed) as u64;
@@ -196,7 +202,7 @@ impl<T: Send + 'static> IbrHandle<'_, T> {
             if pinned {
                 true
             } else {
-                unsafe { SmrNode::dealloc(node, true) };
+                unsafe { domain.pool.dispose(mag, &domain.stats, node, true) };
                 freed += 1;
                 false
             }
@@ -232,7 +238,7 @@ impl<T: Send + 'static> SmrHandle<T> for IbrHandle<'_, T> {
             domain.era.advance();
         }
         self.local_stats.on_alloc(&domain.stats);
-        let node = SmrNode::alloc(value);
+        let node = domain.pool.alloc(&mut self.mag, &domain.stats, value);
         unsafe {
             (*node.as_ptr())
                 .header()
@@ -243,8 +249,9 @@ impl<T: Send + 'static> SmrHandle<T> for IbrHandle<'_, T> {
     }
 
     unsafe fn dealloc(&mut self, ptr: Shared<T>) {
-        self.local_stats.on_dealloc(&self.domain.stats);
-        SmrNode::dealloc(ptr.as_node_ptr(), true);
+        let domain = self.domain;
+        self.local_stats.on_dealloc(&domain.stats);
+        domain.pool.dispose(&mut self.mag, &domain.stats, ptr.as_node_ptr(), true);
     }
 
     /// The 2GE read protocol: ratchet `upper` to the era observed after the
@@ -280,7 +287,9 @@ impl<T: Send + 'static> SmrHandle<T> for IbrHandle<'_, T> {
 
     fn flush(&mut self) {
         self.scan();
-        self.local_stats.flush(&self.domain.stats);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
     }
 }
 
@@ -294,8 +303,10 @@ impl<T: Send + 'static> Drop for IbrHandle<'_, T> {
             unsafe { self.domain.orphans.push_chain(head, tail) };
         }
         self.limbo.clear();
-        self.local_stats.flush(&self.domain.stats);
-        self.domain.registry.release(self.slot);
+        let domain = self.domain;
+        domain.pool.flush(&mut self.mag, &domain.stats);
+        self.local_stats.flush(&domain.stats);
+        domain.registry.release(self.slot);
     }
 }
 

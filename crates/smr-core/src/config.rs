@@ -106,6 +106,23 @@ pub struct SmrConfig {
     /// (`0` forces every insertion through the handoff path, which is useful
     /// for tests). Other schemes ignore it.
     pub handoff_attempts: usize,
+    /// Enable the layout-keyed node-recycling layer
+    /// ([`smr_core::recycle`](crate::recycle)): reclaimed nodes feed a
+    /// per-domain free pool that `alloc` draws from before falling back to
+    /// the global allocator. Off by default — the historical
+    /// allocate/free-through-malloc behaviour.
+    pub recycle: bool,
+    /// Maximum number of reclaimed nodes retained by each domain's recycle
+    /// pool (approximate, split across the pool's cache-padded partitions).
+    /// Overflow falls back to the real allocator. Each inner domain of a
+    /// [`Sharded`](crate::Sharded) adapter owns a pool of this capacity, so
+    /// recycled nodes stay on the shard that freed them. Ignored unless
+    /// [`SmrConfig::recycle`] is set.
+    pub recycle_capacity: usize,
+    /// Capacity of each handle's local recycle magazine (the bounded cache
+    /// spilled to / refilled from the shared pool in blocks). Ignored unless
+    /// [`SmrConfig::recycle`] is set.
+    pub recycle_magazine: usize,
 }
 
 impl SmrConfig {
@@ -193,6 +210,9 @@ impl Default for SmrConfig {
             shards: 1,
             routing: ShardRouting::ByKey,
             handoff_attempts: 8,
+            recycle: false,
+            recycle_capacity: 8192,
+            recycle_magazine: 64,
         }
     }
 }

@@ -115,6 +115,39 @@ impl<T> SmrNode<T> {
         node
     }
 
+    /// Re-initializes a recycled allocation as a node holding `value`: the
+    /// header is re-zeroed (no scheme state survives reuse) and the payload
+    /// written fresh. The recycling layer (`smr_core::recycle`) uses this to
+    /// reuse memory without assuming type stability.
+    ///
+    /// # Safety
+    ///
+    /// `raw` must be an exclusively-owned allocation with the exact layout
+    /// of `SmrNode<T>` whose previous payload (if any) was already dropped.
+    #[inline]
+    pub(crate) unsafe fn renew(raw: *mut u8, value: T) -> NonNull<SmrNode<T>> {
+        let node = Self::renew_dummy(raw);
+        ptr::addr_of_mut!((*node.as_ptr()).value).write(ManuallyDrop::new(value));
+        node
+    }
+
+    /// [`SmrNode::renew`] without writing a payload (recycled counterpart of
+    /// [`SmrNode::alloc_dummy`]).
+    ///
+    /// # Safety
+    ///
+    /// Same ownership/layout contract as [`SmrNode::renew`]; additionally the
+    /// caller must never read the payload and must release the node with
+    /// `drop_payload = false`.
+    #[inline]
+    pub(crate) unsafe fn renew_dummy(raw: *mut u8) -> NonNull<SmrNode<T>> {
+        debug_assert!(!raw.is_null());
+        debug_assert_eq!(raw as usize & crate::TAG_MASK, 0);
+        let node = raw as *mut SmrNode<T>;
+        ptr::addr_of_mut!((*node).header).write(NodeHeader::new());
+        NonNull::new_unchecked(node)
+    }
+
     /// Frees a node previously created by [`SmrNode::alloc`] or
     /// [`SmrNode::alloc_dummy`].
     ///

@@ -24,6 +24,10 @@
 //!   implementation: sharded domains bound retire-list traffic and
 //!   cross-thread scans to one shard, and handle pools let more tasks than
 //!   [`SmrConfig::max_threads`] take turns on registry-based schemes.
+//! * [`NodePool`] and [`Magazine`] — the opt-in layout-keyed node-recycling
+//!   layer ([`recycle`]): when [`SmrConfig::recycle`] is on, every scheme's
+//!   reclaim path feeds freed node memory back to `alloc` instead of the
+//!   global allocator.
 //!
 //! # Example
 //!
@@ -64,6 +68,7 @@ mod config;
 mod era;
 mod header;
 mod pool;
+pub mod recycle;
 mod registry;
 mod shared;
 mod sharded;
@@ -75,6 +80,7 @@ pub use config::{ShardRouting, SmrConfig};
 pub use era::EraClock;
 pub use header::{NodeHeader, SmrNode};
 pub use pool::{CheckOut, HandlePool, PooledHandle};
+pub use recycle::{Magazine, NodePool};
 pub use registry::SlotRegistry;
 pub use shared::{Atomic, Shared};
 pub use sharded::{Sharded, ShardedHandle};

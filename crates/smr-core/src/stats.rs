@@ -19,6 +19,9 @@ pub struct SmrStats {
     retired: CachePadded<AtomicU64>,
     freed: CachePadded<AtomicU64>,
     deallocated: CachePadded<AtomicU64>,
+    pool_hits: CachePadded<AtomicU64>,
+    pool_misses: CachePadded<AtomicU64>,
+    recycled: CachePadded<AtomicU64>,
 }
 
 impl SmrStats {
@@ -54,6 +57,27 @@ impl SmrStats {
         self.deallocated.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds to the pool-hit counter (allocations served from the recycle
+    /// pool instead of the global allocator).
+    #[inline]
+    pub fn add_pool_hits(&self, n: u64) {
+        self.pool_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the pool-miss counter (allocations that fell through to the
+    /// global allocator while recycling was enabled).
+    #[inline]
+    pub fn add_pool_misses(&self, n: u64) {
+        self.pool_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the recycled counter (reclaimed nodes whose memory was handed
+    /// back to the recycle pool instead of being freed).
+    #[inline]
+    pub fn add_recycled(&self, n: u64) {
+        self.recycled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Total nodes allocated.
     pub fn allocated(&self) -> u64 {
         self.allocated.load(Ordering::Relaxed)
@@ -72,6 +96,25 @@ impl SmrStats {
     /// Total nodes deallocated directly while exclusively owned.
     pub fn deallocated(&self) -> u64 {
         self.deallocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocations served from the recycle pool. Load-only sampling, like
+    /// [`SmrStats::unreclaimed`]: cheap to read mid-run.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Allocations that fell through to the global allocator while recycling
+    /// was enabled. Zero when recycling is off.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.load(Ordering::Relaxed)
+    }
+
+    /// Reclaimed nodes whose memory was handed to the recycle pool instead
+    /// of being freed. (A pooled node evicted later by a capacity overflow
+    /// still counts: the counter tracks reclaim-path routing, not residency.)
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
     }
 
     /// Whether every allocated node has been released again
@@ -97,17 +140,23 @@ impl SmrStats {
     /// is approximate — exactly as approximate as reading a single domain's
     /// counters mid-flight; at quiescence it is exact.
     pub fn refresh_from<'a>(&self, parts: impl IntoIterator<Item = &'a SmrStats>) {
-        let mut sums = [0u64; 4];
+        let mut sums = [0u64; 7];
         for p in parts {
             sums[0] += p.allocated();
             sums[1] += p.retired();
             sums[2] += p.freed();
             sums[3] += p.deallocated();
+            sums[4] += p.pool_hits();
+            sums[5] += p.pool_misses();
+            sums[6] += p.recycled();
         }
         self.allocated.store(sums[0], Ordering::Relaxed);
         self.retired.store(sums[1], Ordering::Relaxed);
         self.freed.store(sums[2], Ordering::Relaxed);
         self.deallocated.store(sums[3], Ordering::Relaxed);
+        self.pool_hits.store(sums[4], Ordering::Relaxed);
+        self.pool_misses.store(sums[5], Ordering::Relaxed);
+        self.recycled.store(sums[6], Ordering::Relaxed);
     }
 }
 
@@ -257,16 +306,23 @@ mod tests {
         a.add_allocated(3);
         a.add_retired(2);
         a.add_freed(1);
+        a.add_pool_hits(5);
         let b = SmrStats::new();
         b.add_allocated(7);
         b.add_deallocated(4);
+        b.add_pool_misses(6);
+        b.add_recycled(2);
         let agg = SmrStats::new();
         agg.add_allocated(999); // stale value must be overwritten
+        agg.add_recycled(999);
         agg.refresh_from([&a, &b]);
         assert_eq!(agg.allocated(), 10);
         assert_eq!(agg.retired(), 2);
         assert_eq!(agg.freed(), 1);
         assert_eq!(agg.deallocated(), 4);
+        assert_eq!(agg.pool_hits(), 5);
+        assert_eq!(agg.pool_misses(), 6);
+        assert_eq!(agg.recycled(), 2);
         assert_eq!(agg.unreclaimed(), 1);
     }
 
